@@ -1,0 +1,156 @@
+// Command factory runs a multi-day production campaign of the forecast
+// factory and prints per-day walltimes, the event log, and node
+// utilization — the raw material behind Figures 8 and 9.
+//
+// Usage:
+//
+//	factory [-scenario fig8|fig9|growth] [-config file.json] [-forecast name]
+//	        [-days n] [-snapshot hours]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/factory"
+	"repro/internal/logs"
+)
+
+func main() {
+	scenario := flag.String("scenario", "fig8", "campaign scenario: fig8 or fig9")
+	forecastName := flag.String("forecast", "", "forecast to print the walltime series for (default: the scenario's subject)")
+	days := flag.Int("days", 0, "override the number of days simulated")
+	snapshotAt := flag.Float64("snapshot", 0, "pause at this many hours into the campaign and show the factory monitor")
+	configPath := flag.String("config", "", "load the campaign from a JSON factory description instead of a built-in scenario")
+	flag.Parse()
+
+	var cfg factory.Config
+	subject := ""
+	if *configPath != "" {
+		data, err := os.ReadFile(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		cfg, err = config.Parse(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(cfg.Forecasts) == 0 {
+			fmt.Fprintln(os.Stderr, "config has no forecasts")
+			os.Exit(1)
+		}
+		subject = cfg.Forecasts[0].Spec.Name
+		*scenario = *configPath
+	} else {
+		switch *scenario {
+		case "fig8":
+			cfg = factory.Figure8Scenario()
+			subject = "forecast-tillamook"
+		case "fig9":
+			cfg = factory.Figure9Scenario()
+			subject = "forecasts-dev"
+		case "growth":
+			cfg = factory.GrowthScenario()
+			subject = "forecast-g00"
+		default:
+			fmt.Fprintf(os.Stderr, "unknown scenario %q (fig8, fig9, or growth)\n", *scenario)
+			os.Exit(2)
+		}
+	}
+	if *forecastName != "" {
+		subject = *forecastName
+	}
+	if *days > 0 {
+		cfg.Days = *days
+		var kept []factory.Event
+		for _, e := range cfg.Events {
+			if e.EventDay() < cfg.StartDay+cfg.Days {
+				kept = append(kept, e)
+			}
+		}
+		cfg.Events = kept
+	}
+
+	fmt.Printf("campaign %s: days %d..%d, %d forecasts, %d nodes\n",
+		*scenario, max(cfg.StartDay, 1), max(cfg.StartDay, 1)+cfg.Days-1,
+		len(cfg.Forecasts), len(nodesOf(cfg)))
+	for _, e := range cfg.Events {
+		fmt.Printf("  event: %s\n", e)
+	}
+
+	c, err := factory.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	c.Prepare()
+	if *snapshotAt > 0 {
+		c.Engine().RunUntil(*snapshotAt * 3600)
+		snap := c.Snapshot()
+		fmt.Printf("\n--- factory monitor at t=%.1fh ---\n", snap.Now/3600)
+		for _, a := range snap.Active {
+			fmt.Printf("  running: %-24s day %3d on %-8s %5.1f%% of simulation done\n",
+				a.Forecast, a.Day, a.Node, 100*a.SimProgress)
+		}
+		for _, sc := range snap.Scheduled {
+			fmt.Printf("  queued:  %-24s day %3d on %-8s launches at %.1fh\n",
+				sc.Forecast, sc.Day, sc.Node, sc.Start/3600)
+		}
+		fmt.Println()
+		fmt.Print(snap.Gantt(72))
+		fmt.Println()
+	}
+	results := c.Finish()
+
+	fmt.Printf("\n%s walltimes by day:\n", subject)
+	daysOut, wt := factory.Walltimes(results, subject)
+	if len(daysOut) == 0 {
+		fmt.Fprintf(os.Stderr, "no finished runs for forecast %q\n", subject)
+		os.Exit(1)
+	}
+	for i := range daysOut {
+		fmt.Printf("  day %3d  %9.0f s\n", daysOut[i], wt[i])
+	}
+
+	records, err := logs.Crawl(c.FS(), "/runs")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	perForecast := map[string]int{}
+	for _, r := range records {
+		perForecast[r.Forecast]++
+	}
+	var names []string
+	for n := range perForecast {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("\nrun logs harvested: %d records\n", len(records))
+	for _, n := range names {
+		fmt.Printf("  %-24s %d runs\n", n, perForecast[n])
+	}
+	fmt.Println("\nnode utilization:")
+	for _, n := range c.Cluster().Nodes() {
+		fmt.Printf("  %-10s %5.1f%%\n", n.Name(), 100*n.Utilization())
+	}
+}
+
+func nodesOf(cfg factory.Config) []factory.NodeSpec {
+	if len(cfg.Nodes) > 0 {
+		return cfg.Nodes
+	}
+	return factory.DefaultNodes()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,237 @@
+// Command foreman demonstrates the ForeMan management flow on the paper's
+// plant (six dual-CPU nodes, ten daily forecasts): it bootstraps a few
+// days of history by running the factory simulator, harvests the run logs
+// into the statistics database, estimates today's runs, packs them onto
+// nodes, prints the rough-cut capacity plan, the predicted completion
+// times as a Gantt chart, and the generated staging scripts. What-if moves
+// and node-failure rescheduling are available as flags.
+//
+// Usage:
+//
+//	foreman [-heuristic stay-put|ffd|bfd|wfd] [-fail node] [-policy minimal|reshuffle]
+//	        [-move run=node] [-scripts] [-hindcast n] [-sql query] [-now hour]
+//
+// The -sql flag accepts the statsdb SELECT subset, including JOINs against
+// the nodes table and EXPLAIN.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/factory"
+	"repro/internal/forecast"
+	"repro/internal/logs"
+	"repro/internal/plot"
+	"repro/internal/statsdb"
+)
+
+// plantSpecs builds the paper's ten daily forecasts.
+func plantSpecs() []*forecast.Spec {
+	mk := func(name, region string, ts, sides, products, prio int, startHour float64) *forecast.Spec {
+		s := forecast.NewSpec(name, region, ts, sides, products)
+		s.StartOffset = startHour * 3600
+		s.Priority = prio
+		return s
+	}
+	return []*forecast.Spec{
+		forecast.Tillamook(),
+		mk("forecast-columbia", "columbia", 5760, 28000, 8, 8, 2),
+		mk("forecast-yaquina", "yaquina", 4320, 20000, 6, 5, 3),
+		mk("forecast-newport", "newport", 4320, 18000, 6, 5, 3),
+		mk("forecast-coos-bay", "coos-bay", 3600, 18000, 6, 4, 4),
+		mk("forecast-willapa", "willapa", 3600, 16000, 6, 4, 4),
+		mk("forecast-grays", "grays-harbor", 2880, 16000, 4, 3, 3),
+		mk("forecast-nehalem", "nehalem", 2880, 14000, 4, 3, 5),
+		mk("forecast-umpqua", "umpqua", 2880, 12000, 4, 2, 5),
+		forecast.Dev(),
+	}
+}
+
+func heuristicByName(name string) (core.Heuristic, bool) {
+	switch name {
+	case "stay-put":
+		return core.StayPut, true
+	case "ffd":
+		return core.FirstFitDecreasing, true
+	case "bfd":
+		return core.BestFitDecreasing, true
+	case "wfd":
+		return core.WorstFitDecreasing, true
+	default:
+		return 0, false
+	}
+}
+
+func main() {
+	heuristicFlag := flag.String("heuristic", "stay-put", "assignment heuristic: stay-put, ffd, bfd, wfd")
+	failNode := flag.String("fail", "", "simulate failure of this node and reschedule")
+	policyFlag := flag.String("policy", "minimal", "rescheduling policy after failure: minimal or reshuffle")
+	moveFlag := flag.String("move", "", "what-if move, run=node")
+	scriptsFlag := flag.Bool("scripts", false, "print the generated staging scripts")
+	sqlFlag := flag.String("sql", "", "run a SQL query against the harvested statistics database")
+	nowHour := flag.Float64("now", 9, "current time of day (hours) for the Gantt marker")
+	bootstrapDays := flag.Int("bootstrap", 3, "days of history to simulate before planning")
+	hindcasts := flag.Int("hindcast", 0, "backfill this many hindcast jobs into idle capacity")
+	flag.Parse()
+
+	h, ok := heuristicByName(*heuristicFlag)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown heuristic %q\n", *heuristicFlag)
+		os.Exit(2)
+	}
+
+	// 1. Bootstrap history: run the factory for a few days and harvest
+	// the logs, as the nightly Perl crawlers do.
+	specs := plantSpecs()
+	nodeSpecs := factory.DefaultNodes()
+	assignments := make([]factory.Assignment, len(specs))
+	for i, s := range specs {
+		assignments[i] = factory.Assignment{Spec: s, Node: nodeSpecs[i%len(nodeSpecs)].Name}
+	}
+	campaign, err := factory.New(factory.Config{
+		Days:      *bootstrapDays,
+		Nodes:     nodeSpecs,
+		Forecasts: assignments,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	campaign.Run()
+	records, err := logs.Crawl(campaign.FS(), "/runs")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("bootstrapped %d run records over %d days\n", len(records), *bootstrapDays)
+
+	db := statsdb.NewDB()
+	if _, err := statsdb.LoadRuns(db, records); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *sqlFlag != "" {
+		res, err := db.Query(*sqlFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, row := range res.Rows {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Println(strings.Join(cells, " | "))
+		}
+		return
+	}
+
+	// 2. Estimate today's runs from history and pack them.
+	nodes := make([]core.NodeInfo, len(nodeSpecs))
+	for i, ns := range nodeSpecs {
+		nodes[i] = core.NodeInfo{Name: ns.Name, CPUs: ns.CPUs, Speed: ns.Speed}
+	}
+	estimator := core.NewEstimator(records, nodes)
+	runs := estimator.PlanRuns(specs, nodes)
+
+	schedule, err := core.BuildSchedule(nodes, runs, core.ScheduleOptions{Heuristic: h, AllowDrop: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// 3. What-if interactions.
+	if *moveFlag != "" {
+		run, node, ok := strings.Cut(*moveFlag, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-move wants run=node, got %q\n", *moveFlag)
+			os.Exit(2)
+		}
+		if err := schedule.Move(run, node); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("what-if: moved %s to %s\n", run, node)
+	}
+	if *failNode != "" {
+		pol := core.MinimalMove
+		if *policyFlag == "reshuffle" {
+			pol = core.FullReshuffle
+		}
+		before := schedule
+		schedule, err = core.RescheduleAfterFailure(schedule, *failNode, pol, h)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("node %s failed; policy %s moved runs: %s\n",
+			*failNode, pol, strings.Join(core.MovedRuns(before, schedule), ", "))
+	}
+
+	if *hindcasts > 0 {
+		jobs := make([]core.BackfillJob, *hindcasts)
+		for i := range jobs {
+			jobs[i] = core.BackfillJob{
+				Name: fmt.Sprintf("hindcast-%02d", i+1),
+				Work: 30000,
+			}
+		}
+		placed, skipped, err := core.PlanBackfill(schedule, jobs, 2*86400)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("backfill: placed %d hindcast jobs, skipped %d\n", len(placed), len(skipped))
+		for _, p := range placed {
+			fmt.Printf("  %-14s on %-8s start %7.0f done %7.0f\n", p.Job.Name, p.Node, p.Start, p.Completion)
+		}
+	}
+
+	// 4. Report.
+	fmt.Println()
+	fmt.Print(core.RoughCut(schedule.Plan.Nodes, schedule.Plan.Runs, 86400, schedule.Plan.Assign))
+
+	fmt.Printf("\nheuristic: %s\n", h)
+	if len(schedule.Dropped) > 0 {
+		fmt.Printf("dropped (low priority, capacity short): %s\n", strings.Join(schedule.Dropped, ", "))
+	}
+	if late := schedule.Late(); len(late) > 0 {
+		fmt.Printf("LATE: %s\n", strings.Join(late, ", "))
+	} else {
+		fmt.Println("all runs predicted to meet their deadlines")
+	}
+
+	var bars []plot.GanttBar
+	var names []string
+	for _, r := range schedule.Plan.Runs {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r, _ := schedule.Plan.Run(name)
+		bars = append(bars, plot.GanttBar{
+			Node:  schedule.Plan.Assign[name],
+			Run:   name,
+			Start: r.Start,
+			End:   schedule.Prediction.Completion[name],
+		})
+	}
+	fmt.Println()
+	fmt.Print(plot.Gantt{Title: "today's plan (predicted completions)", Bars: bars, Now: *nowHour * 3600, Horizon: 86400}.Render())
+
+	if *scriptsFlag {
+		scripts, err := core.ShellBackend{Repository: "/repository"}.Generate(schedule)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+		fmt.Print(core.RenderScripts(scripts))
+	}
+}

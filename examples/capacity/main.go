@@ -1,0 +1,79 @@
+// Capacity: the growth study behind the paper's long-range planning
+// question. CORIE expects to grow from 10 to 50–100 forecasts per day;
+// rough-cut capacity planning says when the six-node plant runs out, and
+// detailed scheduling says which forecasts start missing their deadlines
+// first.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+func plant(nodes int) []core.NodeInfo {
+	out := make([]core.NodeInfo, nodes)
+	for i := range out {
+		out[i] = core.NodeInfo{Name: fmt.Sprintf("fnode%02d", i+1), CPUs: 2, Speed: 1.0}
+	}
+	return out
+}
+
+// syntheticRuns builds n forecasts with a spread of sizes and priorities.
+func syntheticRuns(n int) []core.Run {
+	runs := make([]core.Run, n)
+	for i := range runs {
+		work := 15000 + float64(i%7)*6000 // 15,000..51,000 CPU-s
+		runs[i] = core.Run{
+			Name:     fmt.Sprintf("forecast-%03d", i+1),
+			Work:     work,
+			Start:    7200 + float64(i%5)*1800,
+			Deadline: 86400,
+			Priority: 1 + i%9,
+		}
+	}
+	return runs
+}
+
+func main() {
+	nodes := plant(6)
+	fmt.Println("growth study on the six-node plant:")
+	fmt.Printf("%8s %12s %10s %8s %8s\n", "runs", "demand", "util", "late", "dropped")
+	for _, n := range []int{10, 20, 30, 40, 50, 75, 100} {
+		runs := syntheticRuns(n)
+		rough := core.RoughCut(nodes, runs, 86400, nil)
+		s, err := core.BuildSchedule(nodes, runs, core.ScheduleOptions{Heuristic: core.WorstFitDecreasing})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%8d %11.0fs %9.1f%% %8d %8d\n",
+			n, rough.TotalWork, 100*rough.Utilization, len(s.Late()), len(s.Dropped))
+	}
+
+	// With priorities and dropping allowed, the factory trades low-value
+	// forecasts for timeliness once over capacity.
+	fmt.Println("\nat 50 runs with drop-on-overload:")
+	runs := syntheticRuns(50)
+	s, err := core.BuildSchedule(nodes, runs, core.ScheduleOptions{
+		Heuristic: core.WorstFitDecreasing,
+		AllowDrop: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("  dropped %d low-priority forecasts, remainder feasible: %v\n", len(s.Dropped), s.Feasible())
+
+	// How many nodes would the full 100-forecast plant need?
+	fmt.Println("\nnodes needed for 100 forecasts (rough cut):")
+	runs = syntheticRuns(100)
+	for n := 6; n <= 24; n += 2 {
+		rough := core.RoughCut(plant(n), runs, 86400, nil)
+		marker := ""
+		if rough.Feasible {
+			marker = "  <- first feasible plant"
+			fmt.Printf("  %2d nodes: utilization %5.1f%%%s\n", n, 100*rough.Utilization, marker)
+			break
+		}
+		fmt.Printf("  %2d nodes: utilization %5.1f%%%s\n", n, 100*rough.Utilization, marker)
+	}
+}

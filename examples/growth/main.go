@@ -1,0 +1,89 @@
+// Growth: the long-range planning loop in action. CORIE expects to grow
+// from 10 to 50-100 forecasts; this campaign adds batches of forecasts
+// over six weeks, commissions new nodes when rough-cut utilization gets
+// tight, and shows that walltimes stay flat — then re-runs the same
+// growth WITHOUT the new nodes to show the saturation cascade the plan
+// prevents.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/factory"
+)
+
+func summarize(label string, results []factory.RunResult) {
+	byDay := map[int][]float64{}
+	for _, r := range results {
+		if r.Finished {
+			byDay[r.Day] = append(byDay[r.Day], r.Walltime)
+		}
+	}
+	var days []int
+	for d := range byDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	fmt.Printf("=== %s ===\n", label)
+	fmt.Printf("%6s %6s %12s %12s %8s\n", "day", "runs", "max wall (s)", "avg wall (s)", ">1 day")
+	for _, d := range days {
+		if d%7 != 1 {
+			continue // weekly samples
+		}
+		wt := byDay[d]
+		var max, sum float64
+		late := 0
+		for _, w := range wt {
+			if w > max {
+				max = w
+			}
+			sum += w
+			if w > factory.SecondsPerDay {
+				late++
+			}
+		}
+		fmt.Printf("%6d %6d %12.0f %12.0f %8d\n", d, len(wt), max, sum/float64(len(wt)), late)
+	}
+	unfinished := 0
+	for _, r := range results {
+		if !r.Finished {
+			unfinished++
+		}
+	}
+	if unfinished > 0 {
+		fmt.Printf("  %d runs never finished (wedged behind the backlog)\n", unfinished)
+	}
+	fmt.Println()
+}
+
+func main() {
+	// With the plan: new nodes arrive with the week-3 and week-5 batches.
+	planned, err := factory.New(factory.GrowthScenario())
+	if err != nil {
+		panic(err)
+	}
+	summarize("growth with node commissioning", planned.Run())
+
+	// Without the plan: same forecasts, no new hardware.
+	cfg := factory.GrowthScenario()
+	var events []factory.Event
+	base := factory.DefaultNodes()
+	for _, e := range cfg.Events {
+		switch ev := e.(type) {
+		case factory.AddNode:
+			continue // the hardware never arrives
+		case factory.AddForecast:
+			ev.Node = base[ev.EventDay()%len(base)].Name
+			events = append(events, ev)
+		default:
+			events = append(events, e)
+		}
+	}
+	cfg.Events = events
+	unplanned, err := factory.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	summarize("growth without new nodes (saturation)", unplanned.Run())
+}

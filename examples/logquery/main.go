@@ -1,0 +1,155 @@
+// Logquery: harvest run logs from a simulated campaign into the
+// statistics database and answer the management questions §4.3 of the
+// paper motivates — find forecasts by code version, chart walltime
+// trends, detect the contention spikes and code-change level shifts, and
+// fit the walltime-vs-timesteps line used for estimation.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/factory"
+	"repro/internal/logs"
+	"repro/internal/stats"
+	"repro/internal/statsdb"
+)
+
+func main() {
+	// Run the Figure 9 campaign: the dev forecast with code and mesh
+	// changes plus two contention spikes.
+	campaign, err := factory.New(factory.Figure9Scenario())
+	if err != nil {
+		panic(err)
+	}
+	campaign.Run()
+	records, err := logs.Crawl(campaign.FS(), "/runs")
+	if err != nil {
+		panic(err)
+	}
+	db := statsdb.NewDB()
+	if _, err := statsdb.LoadRuns(db, records); err != nil {
+		panic(err)
+	}
+	fmt.Printf("loaded %d run records into the statistics database\n\n", len(records))
+
+	// "Find all forecasts that use code version X."
+	q := "SELECT forecast, COUNT(*), AVG(walltime) FROM runs WHERE code_version = 'elcirc-dev-r300' GROUP BY forecast"
+	fmt.Println(q)
+	res, err := db.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %s: %s runs, avg walltime %.0f s\n", row[0], row[1], row[2].Float())
+	}
+
+	// Walltime statistics per code version, most expensive first.
+	q = "SELECT code_version, COUNT(*), AVG(walltime), MAX(walltime) FROM runs " +
+		"WHERE forecast = 'forecasts-dev' AND status = 'completed' " +
+		"GROUP BY code_version ORDER BY AVG(walltime) DESC"
+	fmt.Printf("\n%s\n", q)
+	res, err = db.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %-18s %3s runs  avg %8.0f s  max %8.0f s\n",
+			row[0], row[1], row[2].Float(), row[3].Float())
+	}
+
+	// Joined with plant metadata: walltime by node speed class.
+	if _, err := statsdb.LoadNodes(db, []statsdb.NodeRow{
+		{Name: "fnode01", CPUs: 2, Speed: 1.0},
+		{Name: "fnode02", CPUs: 2, Speed: 1.0},
+		{Name: "fnode03", CPUs: 2, Speed: 1.0},
+		{Name: "fnode04", CPUs: 2, Speed: 1.0},
+		{Name: "fnode05", CPUs: 2, Speed: 1.0},
+		{Name: "fnode06", CPUs: 2, Speed: 1.0},
+	}); err != nil {
+		panic(err)
+	}
+	q = "SELECT nodes.name, COUNT(*), AVG(walltime) FROM runs JOIN nodes ON node = name " +
+		"GROUP BY nodes.name ORDER BY nodes.name"
+	fmt.Printf("\n%s\n", q)
+	res, err = db.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Printf("  %-10s %3s runs  avg %8.0f s\n", row[0], row[1], row[2].Float())
+	}
+
+	// EXPLAIN shows the planner picking the code_version hash index.
+	res, err = db.Query("EXPLAIN SELECT forecast FROM runs WHERE code_version = 'elcirc-dev-r300'")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nplan: %s\n", res.Rows[0][0])
+
+	// Pull the dev walltime series and apply statistical process control.
+	q = "SELECT day, walltime FROM runs WHERE forecast = 'forecasts-dev' AND status = 'completed' ORDER BY day"
+	res, err = db.Query(q)
+	if err != nil {
+		panic(err)
+	}
+	days, _ := res.Floats("day")
+	wall, _ := res.Floats("walltime")
+
+	// Statistical process control: first segment the series at sustained
+	// level shifts (code/mesh deployments), then flag outliers within
+	// each stable segment (contention spikes).
+	shifts := stats.LevelShifts(wall, 5, 3000)
+	fmt.Printf("\nsustained level shifts (code/mesh changes): days")
+	for _, i := range shifts {
+		fmt.Printf(" ≈%d", int(days[i]))
+	}
+	fmt.Println()
+
+	fmt.Printf("contention spikes within stable segments: days")
+	bounds := append([]int{0}, shifts...)
+	bounds = append(bounds, len(wall))
+	for s := 0; s+1 < len(bounds); s++ {
+		lo, hi := bounds[s], bounds[s+1]
+		for _, i := range stats.Outliers(wall[lo:hi], 8) {
+			fmt.Printf(" %d", int(days[lo+i]))
+		}
+	}
+	fmt.Println()
+
+	// The estimation rule: walltime is linear in timesteps. Use a second
+	// campaign with timestep changes to demonstrate the fit.
+	till := factory.Figure8Scenario()
+	till.Days = 30 // enough to cover the day-21 timestep doubling
+	var kept []factory.Event
+	for _, e := range till.Events {
+		if e.EventDay() < 31 {
+			kept = append(kept, e)
+		}
+	}
+	till.Events = kept
+	c2, err := factory.New(till)
+	if err != nil {
+		panic(err)
+	}
+	c2.Run()
+	recs2, err := logs.Crawl(c2.FS(), "/runs")
+	if err != nil {
+		panic(err)
+	}
+	db2 := statsdb.NewDB()
+	if _, err := statsdb.LoadRuns(db2, recs2); err != nil {
+		panic(err)
+	}
+	res, err = db2.Query("SELECT timesteps, walltime FROM runs WHERE forecast = 'forecast-tillamook' AND status = 'completed'")
+	if err != nil {
+		panic(err)
+	}
+	ts, _ := res.Floats("timesteps")
+	w2, _ := res.Floats("walltime")
+	fit, err := stats.FitLinear(ts, w2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwalltime vs timesteps: slope %.2f s/step, R² = %.4f\n", fit.Slope, fit.R2)
+	fmt.Printf("predicted walltime at 8640 steps: %.0f s\n", fit.Predict(8640))
+}

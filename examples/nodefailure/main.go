@@ -1,0 +1,60 @@
+// Nodefailure: a node dies at planning time. Compare ForeMan's two
+// rescheduling policies — minimal-move (displace only the failed node's
+// runs) and full-reshuffle (re-pack everything) — by disruption and by
+// predicted completion times.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+func main() {
+	nodes := []core.NodeInfo{
+		{Name: "fnode01", CPUs: 2, Speed: 1.0},
+		{Name: "fnode02", CPUs: 2, Speed: 1.0},
+		{Name: "fnode03", CPUs: 2, Speed: 1.0},
+		{Name: "fnode04", CPUs: 2, Speed: 1.0},
+	}
+	runs := []core.Run{
+		{Name: "tillamook", Work: 40000, Start: 10800, Deadline: 86400, Priority: 8, PrevNode: "fnode01"},
+		{Name: "columbia", Work: 47000, Start: 7200, Deadline: 86400, Priority: 9, PrevNode: "fnode01"},
+		{Name: "yaquina", Work: 30000, Start: 10800, Deadline: 86400, Priority: 5, PrevNode: "fnode02"},
+		{Name: "newport", Work: 27000, Start: 10800, Deadline: 86400, Priority: 5, PrevNode: "fnode02"},
+		{Name: "coos-bay", Work: 22000, Start: 14400, Deadline: 86400, Priority: 4, PrevNode: "fnode03"},
+		{Name: "willapa", Work: 20000, Start: 14400, Deadline: 86400, Priority: 4, PrevNode: "fnode03"},
+		{Name: "grays", Work: 15000, Start: 10800, Deadline: 86400, Priority: 3, PrevNode: "fnode04"},
+		{Name: "dev", Work: 38000, Start: 14400, Deadline: 86400, Priority: 2, PrevNode: "fnode04"},
+	}
+
+	schedule, err := core.BuildSchedule(nodes, runs, core.ScheduleOptions{Heuristic: core.StayPut})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("before failure:")
+	printPlan(schedule)
+
+	for _, pol := range []core.ReschedulePolicy{core.MinimalMove, core.FullReshuffle} {
+		after, err := core.RescheduleAfterFailure(schedule, "fnode01", pol, core.WorstFitDecreasing)
+		if err != nil {
+			panic(err)
+		}
+		moved := core.MovedRuns(schedule, after)
+		fmt.Printf("\nfnode01 fails, policy %s: %d runs moved (%s)\n",
+			pol, len(moved), strings.Join(moved, ", "))
+		printPlan(after)
+	}
+}
+
+func printPlan(s *core.Schedule) {
+	for _, r := range s.Plan.Runs {
+		fmt.Printf("  %-10s on %-8s done %8.0f s  (deadline %6.0f, late=%v)\n",
+			r.Name, s.Plan.Assign[r.Name], s.Prediction.Completion[r.Name],
+			r.Deadline, s.Prediction.Completion[r.Name] > r.Deadline)
+	}
+	if late := s.Late(); len(late) > 0 {
+		fmt.Printf("  LATE: %s\n", strings.Join(late, ", "))
+	}
+}

@@ -1,0 +1,79 @@
+// Quickstart: build a small forecast factory, estimate run times from a
+// day of history, pack the runs onto nodes, predict completion times, and
+// simulate the day to check the prediction.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/factory"
+	"repro/internal/forecast"
+	"repro/internal/logs"
+)
+
+func main() {
+	// A three-node plant and three forecasts.
+	nodeSpecs := []factory.NodeSpec{
+		{Name: "node-a", CPUs: 2, Speed: 1.0},
+		{Name: "node-b", CPUs: 2, Speed: 1.0},
+		{Name: "node-c", CPUs: 2, Speed: 1.3}, // a newer, faster machine
+	}
+	tillamook := forecast.Tillamook()
+	columbia := forecast.NewSpec("forecast-columbia", "columbia", 5760, 28000, 8)
+	columbia.StartOffset = 2 * 3600
+	yaquina := forecast.NewSpec("forecast-yaquina", "yaquina", 4320, 20000, 6)
+	yaquina.StartOffset = 3 * 3600
+	specs := []*forecast.Spec{tillamook, columbia, yaquina}
+
+	// Day one: run everything once to accumulate log history.
+	campaign, err := factory.New(factory.Config{
+		Days:  1,
+		Nodes: nodeSpecs,
+		Forecasts: []factory.Assignment{
+			{Spec: tillamook, Node: "node-a"},
+			{Spec: columbia, Node: "node-b"},
+			{Spec: yaquina, Node: "node-c"},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	campaign.Run()
+
+	// Harvest the run logs, exactly as the factory's crawlers do.
+	records, err := logs.Crawl(campaign.FS(), "/runs")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("harvested %d run logs:\n", len(records))
+	for _, r := range records {
+		fmt.Printf("  %-20s day %d on %-8s walltime %8.0f s\n", r.Forecast, r.Day, r.Node, r.Walltime)
+	}
+
+	// Plan day two with ForeMan: estimate from history, pack, predict.
+	nodes := make([]core.NodeInfo, len(nodeSpecs))
+	for i, ns := range nodeSpecs {
+		nodes[i] = core.NodeInfo{Name: ns.Name, CPUs: ns.CPUs, Speed: ns.Speed}
+	}
+	estimator := core.NewEstimator(records, nodes)
+	runs := estimator.PlanRuns(specs, nodes)
+	schedule, err := core.BuildSchedule(nodes, runs, core.ScheduleOptions{Heuristic: core.StayPut})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("\nday-two plan:")
+	for _, r := range runs {
+		fmt.Printf("  %-20s on %-8s estimated completion %8.0f s after midnight\n",
+			r.Name, schedule.Plan.Assign[r.Name], schedule.Prediction.Completion[r.Name])
+	}
+	fmt.Printf("feasible: %v\n", schedule.Feasible())
+
+	// What-if: move the Tillamook forecast to the fast node.
+	if err := schedule.Move(tillamook.Name, "node-c"); err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nwhat-if, %s moved to node-c: completion %8.0f s (node speed scales the estimate)\n",
+		tillamook.Name, schedule.Prediction.Completion[tillamook.Name])
+}

@@ -1,0 +1,194 @@
+// Package cluster models the forecast factory's dedicated compute plant:
+// a small set of multi-CPU nodes with known relative speeds, on which
+// serial jobs execute under processor sharing.
+//
+// The model follows §4.1 of the paper exactly: a forecast run is serial
+// (consumes at most one CPU), and when k runs share a node with c CPUs the
+// available cycles are divided evenly, so each run progresses at
+// speed × min(1, c/k). Work is measured in reference CPU-seconds: a job of
+// work W finishes in W seconds when running alone on a speed-1.0 CPU.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ps"
+	"repro/internal/sim"
+)
+
+// Node is one compute node. Create nodes through Cluster.AddNode.
+type Node struct {
+	name  string
+	cpus  int
+	speed float64
+	res   *ps.Resource
+	down  bool
+	eng   *sim.Engine
+
+	// Accounting for utilization reports.
+	created float64
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// CPUs returns the number of CPUs.
+func (n *Node) CPUs() int { return n.cpus }
+
+// Speed returns the node's relative speed (1.0 = reference).
+func (n *Node) Speed() float64 { return n.speed }
+
+// Down reports whether the node is failed.
+func (n *Node) Down() bool { return n.down }
+
+// Active returns the number of jobs currently executing on the node.
+func (n *Node) Active() int { return n.res.Active() }
+
+// Utilization returns the fraction of the node's total CPU capacity
+// consumed since the node was created.
+func (n *Node) Utilization() float64 {
+	elapsed := n.eng.Now() - n.created
+	if elapsed <= 0 {
+		return 0
+	}
+	return n.res.BusySeconds() / (n.res.Capacity() * elapsed)
+}
+
+// Job is a serial job executing on a node.
+type Job struct {
+	task *ps.Task
+	node *Node
+}
+
+// Node returns the node the job runs on.
+func (j *Job) Node() *Node { return j.node }
+
+// Remaining returns the job's remaining work in reference CPU-seconds.
+func (j *Job) Remaining() float64 { return j.task.Remaining() }
+
+// Finished reports whether the job has completed.
+func (j *Job) Finished() bool { return j.task.Finished() }
+
+// Cancelled reports whether the job was cancelled.
+func (j *Job) Cancelled() bool { return j.task.Cancelled() }
+
+// Label returns the job's diagnostic label.
+func (j *Job) Label() string { return j.task.Label() }
+
+// Started returns the virtual time the job was submitted.
+func (j *Job) Started() float64 { return j.task.Started() }
+
+// AddWork grows the job's remaining work (incremental workloads).
+func (j *Job) AddWork(extra float64) { j.task.AddWork(extra) }
+
+// Cancel removes the job without invoking its completion callback.
+func (j *Job) Cancel() { j.task.Cancel() }
+
+// Submit starts a serial job on the node. work is in reference
+// CPU-seconds; done (may be nil) runs at completion. Submitting to a down
+// node is allowed — the job waits frozen until the node is repaired, which
+// models scripts queued against an unavailable machine.
+func (n *Node) Submit(label string, work float64, done func()) *Job {
+	t := n.res.Submit(label, work, done)
+	return &Job{task: t, node: n}
+}
+
+// SubmitParallel starts a parallel "mega-job" that can consume up to
+// width CPUs at once — the extension footnote 1 of the paper anticipates
+// for parallel forecast codes. width is clamped to the node's CPU count;
+// width ≤ 1 is a serial job. Sharing with other jobs follows max-min
+// fairness: a mega-job only uses cycles serial jobs cannot.
+func (n *Node) SubmitParallel(label string, work float64, width int, done func()) *Job {
+	if width < 1 {
+		width = 1
+	}
+	if width > n.cpus {
+		width = n.cpus
+	}
+	t := n.res.SubmitCapped(label, work, float64(width)*n.speed, done)
+	return &Job{task: t, node: n}
+}
+
+// Fail marks the node down. Running jobs stop progressing but keep their
+// exact remaining work; they resume on Repair. This models the paper's
+// "node becomes temporarily unavailable" scenario.
+func (n *Node) Fail() {
+	if n.down {
+		return
+	}
+	n.down = true
+	n.res.Freeze()
+}
+
+// Repair brings a failed node back.
+func (n *Node) Repair() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.res.Thaw()
+}
+
+// Cluster is a named collection of nodes sharing one simulation engine.
+type Cluster struct {
+	eng   *sim.Engine
+	nodes map[string]*Node
+	order []string
+}
+
+// New creates an empty cluster on the given engine.
+func New(eng *sim.Engine) *Cluster {
+	return &Cluster{eng: eng, nodes: make(map[string]*Node)}
+}
+
+// Engine returns the cluster's simulation engine.
+func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// AddNode creates a node with the given CPU count and relative speed.
+// Adding a duplicate name or non-positive parameters panics: cluster
+// construction errors are programming errors in this library.
+func (c *Cluster) AddNode(name string, cpus int, speed float64) *Node {
+	if _, ok := c.nodes[name]; ok {
+		panic(fmt.Sprintf("cluster: duplicate node %q", name))
+	}
+	if cpus <= 0 || speed <= 0 {
+		panic(fmt.Sprintf("cluster: node %q needs positive cpus (%d) and speed (%v)", name, cpus, speed))
+	}
+	n := &Node{
+		name:    name,
+		cpus:    cpus,
+		speed:   speed,
+		eng:     c.eng,
+		created: c.eng.Now(),
+		res:     ps.NewResource(c.eng, "cpu:"+name, float64(cpus)*speed, speed),
+	}
+	c.nodes[name] = n
+	c.order = append(c.order, name)
+	sort.Strings(c.order)
+	return n
+}
+
+// Node returns the named node, or nil.
+func (c *Cluster) Node(name string) *Node { return c.nodes[name] }
+
+// Nodes returns all nodes in name order.
+func (c *Cluster) Nodes() []*Node {
+	out := make([]*Node, len(c.order))
+	for i, name := range c.order {
+		out[i] = c.nodes[name]
+	}
+	return out
+}
+
+// TotalCapacity returns the aggregate CPU capacity (CPUs × speed) of all
+// nodes that are currently up, in reference CPU-seconds per second.
+func (c *Cluster) TotalCapacity() float64 {
+	var total float64
+	for _, n := range c.nodes {
+		if !n.down {
+			total += float64(n.cpus) * n.speed
+		}
+	}
+	return total
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+const eps = 1e-6
+
+func almost(a, b float64) bool { return math.Abs(a-b) < eps }
+
+func TestSerialJobOnReferenceNode(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("amb10", 2, 1.0)
+	var done float64
+	n.Submit("tillamook", 40000, func() { done = e.Now() })
+	e.Run()
+	if !almost(done, 40000) {
+		t.Fatalf("job finished at %v, want 40000", done)
+	}
+}
+
+func TestNodeSpeedScalesRuntime(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	fast := c.AddNode("fast", 2, 2.0)
+	slow := c.AddNode("slow", 2, 0.5)
+	var tFast, tSlow float64
+	fast.Submit("a", 100, func() { tFast = e.Now() })
+	slow.Submit("b", 100, func() { tSlow = e.Now() })
+	e.Run()
+	if !almost(tFast, 50) {
+		t.Fatalf("fast node finished at %v, want 50", tFast)
+	}
+	if !almost(tSlow, 200) {
+		t.Fatalf("slow node finished at %v, want 200", tSlow)
+	}
+}
+
+func TestPaperCPUSharingExample(t *testing.T) {
+	// §4.1: "if three forecasts run concurrently on a node with two CPUs,
+	// ForeMan will compute the expected completion time of each assuming
+	// each forecast gets 2/3 of the available CPU cycles."
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 2, 1.0)
+	var finishes []float64
+	for i := 0; i < 3; i++ {
+		n.Submit("f", 1000, func() { finishes = append(finishes, e.Now()) })
+	}
+	e.Run()
+	for _, f := range finishes {
+		if !almost(f, 1500) {
+			t.Fatalf("finishes = %v, want all 1500 (rate 2/3)", finishes)
+		}
+	}
+}
+
+func TestFailFreezesJobsAndRepairResumes(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 2, 1.0)
+	var done float64
+	n.Submit("f", 100, func() { done = e.Now() })
+	e.At(40, func() { n.Fail() })
+	e.At(90, func() { n.Repair() })
+	e.Run()
+	if !almost(done, 150) {
+		t.Fatalf("job finished at %v, want 150 (40 run + 50 down + 60 run)", done)
+	}
+}
+
+func TestSubmitToDownNodeWaits(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 1, 1.0)
+	n.Fail()
+	if !n.Down() {
+		t.Fatal("node should be down")
+	}
+	var done float64
+	n.Submit("f", 10, func() { done = e.Now() })
+	e.At(100, func() { n.Repair() })
+	e.Run()
+	if !almost(done, 110) {
+		t.Fatalf("job finished at %v, want 110", done)
+	}
+}
+
+func TestDoubleFailAndRepairAreIdempotent(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 1, 1.0)
+	n.Fail()
+	n.Fail()
+	n.Repair()
+	n.Repair()
+	if n.Down() {
+		t.Fatal("node should be up")
+	}
+}
+
+func TestJobCancelAndAccessors(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 1, 1.0)
+	j := n.Submit("f", 100, func() { t.Error("cancelled job completed") })
+	if j.Node() != n || j.Label() != "f" || j.Started() != 0 {
+		t.Fatalf("accessors wrong: %v %v %v", j.Node(), j.Label(), j.Started())
+	}
+	e.At(10, func() { j.Cancel() })
+	e.Run()
+	if !j.Cancelled() || j.Finished() {
+		t.Fatal("job state wrong after cancel")
+	}
+}
+
+func TestClusterAccessors(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	c.AddNode("b", 2, 1.0)
+	c.AddNode("a", 2, 2.0)
+	nodes := c.Nodes()
+	if len(nodes) != 2 || nodes[0].Name() != "a" || nodes[1].Name() != "b" {
+		t.Fatalf("Nodes() not name-sorted: %v, %v", nodes[0].Name(), nodes[1].Name())
+	}
+	if c.Node("a") == nil || c.Node("zz") != nil {
+		t.Fatal("Node lookup wrong")
+	}
+	if !almost(c.TotalCapacity(), 2*2.0+2*1.0) {
+		t.Fatalf("TotalCapacity = %v, want 6", c.TotalCapacity())
+	}
+	c.Node("a").Fail()
+	if !almost(c.TotalCapacity(), 2.0) {
+		t.Fatalf("TotalCapacity with a down = %v, want 2", c.TotalCapacity())
+	}
+	if c.Engine() != e {
+		t.Fatal("Engine accessor wrong")
+	}
+}
+
+func TestDuplicateNodePanics(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	c.AddNode("n", 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate node did not panic")
+		}
+	}()
+	c.AddNode("n", 1, 1)
+}
+
+func TestInvalidNodeParamsPanic(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	for _, tc := range []struct {
+		cpus  int
+		speed float64
+	}{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddNode(%d, %v) did not panic", tc.cpus, tc.speed)
+				}
+			}()
+			c.AddNode("bad", tc.cpus, tc.speed)
+		}()
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 2, 1.0)
+	n.Submit("f", 100, nil)
+	e.RunUntil(200)
+	// 100 CPU-seconds consumed over 200s × 2 CPUs = 0.25.
+	if !almost(n.Utilization(), 0.25) {
+		t.Fatalf("Utilization = %v, want 0.25", n.Utilization())
+	}
+}
+
+func TestNodeAccessors(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 2, 1.5)
+	if n.CPUs() != 2 || n.Speed() != 1.5 || n.Active() != 0 {
+		t.Fatal("accessors wrong")
+	}
+	j := n.Submit("f", 100, nil)
+	if n.Active() != 1 {
+		t.Fatalf("Active = %d", n.Active())
+	}
+	e.RunUntil(10)
+	// 10 s at rate 1.5 → 15 done of 100.
+	if got := j.Remaining(); math.Abs(got-85) > eps {
+		t.Fatalf("Remaining = %v, want 85", got)
+	}
+	j.AddWork(15)
+	if got := j.Remaining(); math.Abs(got-100) > eps {
+		t.Fatalf("Remaining after AddWork = %v, want 100", got)
+	}
+	e.Run()
+	if !j.Finished() {
+		t.Fatal("job should finish")
+	}
+}
+
+func TestSubmitParallelMegaJob(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 4, 1.0)
+	var done float64
+	// Width clamps to the CPU count; width < 1 behaves serially.
+	n.SubmitParallel("mega", 400, 99, func() { done = e.Now() })
+	e.Run()
+	if math.Abs(done-100) > eps {
+		t.Fatalf("mega-job finished at %v, want 100 (4 CPUs)", done)
+	}
+	var serialDone float64
+	n.SubmitParallel("serial", 100, 0, func() { serialDone = e.Now() })
+	e.Run()
+	if math.Abs(serialDone-200) > eps {
+		t.Fatalf("width-0 job finished at %v, want 200 (serial)", serialDone)
+	}
+}
+
+func TestParallelAndSerialShareFairly(t *testing.T) {
+	// 3 CPUs: serial job keeps a full CPU; width-3 mega-job soaks the
+	// other two.
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 3, 1.0)
+	var tSerial, tMega float64
+	n.Submit("serial", 100, func() { tSerial = e.Now() })
+	n.SubmitParallel("mega", 500, 3, func() { tMega = e.Now() })
+	e.Run()
+	if math.Abs(tSerial-100) > eps {
+		t.Fatalf("serial finished at %v, want 100", tSerial)
+	}
+	// Mega: 2/s for 100 s (200 done), then 3/s for the remaining 300 →
+	// finishes at 200.
+	if math.Abs(tMega-200) > eps {
+		t.Fatalf("mega finished at %v, want 200", tMega)
+	}
+}
+
+// Property: the paper's CPU-sharing rule. k identical serial jobs of work W
+// started together on a node with c CPUs of speed s all finish at
+// W / (s·min(1, c/k)).
+func TestPropertyCPUSharingRule(t *testing.T) {
+	f := func(kRaw, cRaw uint8, wRaw uint16, sRaw uint8) bool {
+		k := int(kRaw%6) + 1
+		cpus := int(cRaw%4) + 1
+		w := float64(wRaw%10000) + 1
+		speed := 0.5 + float64(sRaw%8)*0.25
+		e := sim.NewEngine()
+		c := New(e)
+		n := c.AddNode("n", cpus, speed)
+		for i := 0; i < k; i++ {
+			n.Submit("f", w, nil)
+		}
+		end := e.Run()
+		rate := speed * math.Min(1, float64(cpus)/float64(k))
+		want := w / rate
+		if math.Abs(end-want) > 1e-6*want {
+			t.Logf("k=%d cpus=%d speed=%v w=%v: end=%v want=%v", k, cpus, speed, w, end, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

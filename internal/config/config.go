@@ -1,0 +1,237 @@
+// Package config loads factory descriptions from JSON, so a downstream
+// CORIE-like deployment can describe its plant, forecast fleet, and
+// calendar of changes in a file instead of Go code:
+//
+//	{
+//	  "year": 2005,
+//	  "days": 76,
+//	  "nodes": [{"name": "fnode01", "cpus": 2, "speed": 1.0}],
+//	  "forecasts": [{
+//	    "name": "forecast-tillamook", "region": "tillamook",
+//	    "timesteps": 5760, "meshSides": 24000, "products": 8,
+//	    "startHour": 3, "priority": 5, "node": "fnode01"
+//	  }],
+//	  "events": [
+//	    {"day": 21, "type": "set-timesteps", "forecast": "forecast-tillamook", "timesteps": 11520},
+//	    {"day": 50, "type": "add-forecast", "node": "fnode01",
+//	     "spec": {"name": "forecast-newport", "region": "newport",
+//	              "timesteps": 4320, "meshSides": 18000, "products": 6, "startHour": 3}},
+//	    {"day": 56, "type": "reassign", "forecast": "forecast-newport", "node": "fnode04"}
+//	  ]
+//	}
+//
+// Event types: set-timesteps, set-code, set-mesh, add-forecast,
+// remove-forecast, reassign, add-node, fail-node, repair-node,
+// delay-input.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/factory"
+	"repro/internal/forecast"
+)
+
+// File is the top-level JSON document.
+type File struct {
+	Year      int            `json:"year"`
+	StartDay  int            `json:"startDay"`
+	Days      int            `json:"days"`
+	DrainDays int            `json:"drainDays"`
+	Nodes     []NodeJSON     `json:"nodes"`
+	Forecasts []ForecastJSON `json:"forecasts"`
+	Events    []EventJSON    `json:"events"`
+}
+
+// NodeJSON describes one compute node.
+type NodeJSON struct {
+	Name  string  `json:"name"`
+	CPUs  int     `json:"cpus"`
+	Speed float64 `json:"speed"`
+}
+
+// ForecastJSON describes a forecast and (for the initial fleet) its node.
+type ForecastJSON struct {
+	Name      string  `json:"name"`
+	Region    string  `json:"region"`
+	Timesteps int     `json:"timesteps"`
+	MeshSides int     `json:"meshSides"`
+	Products  int     `json:"products"`
+	StartHour float64 `json:"startHour"`
+	Priority  int     `json:"priority"`
+	// Code overrides the default code version (optional).
+	CodeName   string  `json:"codeName,omitempty"`
+	CodeFactor float64 `json:"codeFactor,omitempty"`
+	// Node is required for entries in the top-level forecasts list and for
+	// add-forecast events it is carried by the event instead.
+	Node string `json:"node,omitempty"`
+}
+
+// EventJSON is one calendar entry; Type selects which fields apply.
+type EventJSON struct {
+	Day      int    `json:"day"`
+	Type     string `json:"type"`
+	Forecast string `json:"forecast,omitempty"`
+	Node     string `json:"node,omitempty"`
+
+	Timesteps  int           `json:"timesteps,omitempty"`
+	CodeName   string        `json:"codeName,omitempty"`
+	CodeFactor float64       `json:"codeFactor,omitempty"`
+	MeshName   string        `json:"meshName,omitempty"`
+	MeshSides  int           `json:"meshSides,omitempty"`
+	Spec       *ForecastJSON `json:"spec,omitempty"`
+	CPUs       int           `json:"cpus,omitempty"`
+	Speed      float64       `json:"speed,omitempty"`
+	DelayHours float64       `json:"delayHours,omitempty"`
+}
+
+// spec builds the forecast.Spec for a ForecastJSON.
+func (f ForecastJSON) spec() (*forecast.Spec, error) {
+	if f.Name == "" {
+		return nil, fmt.Errorf("config: forecast with empty name")
+	}
+	// NewSpec panics on invalid parameters (it serves trusted Go callers);
+	// config input is untrusted, so validate the essentials first.
+	if f.Timesteps <= 0 || f.MeshSides <= 0 {
+		return nil, fmt.Errorf("config: forecast %s needs positive timesteps (%d) and meshSides (%d)",
+			f.Name, f.Timesteps, f.MeshSides)
+	}
+	if f.StartHour < 0 || f.StartHour >= 24 {
+		return nil, fmt.Errorf("config: forecast %s startHour %v out of range [0, 24)", f.Name, f.StartHour)
+	}
+	region := f.Region
+	if region == "" {
+		region = f.Name
+	}
+	products := f.Products
+	if products <= 0 {
+		products = 6
+	}
+	s := forecast.NewSpec(f.Name, region, f.Timesteps, f.MeshSides, products)
+	s.StartOffset = f.StartHour * 3600
+	s.Priority = f.Priority
+	if f.CodeName != "" {
+		factor := f.CodeFactor
+		if factor <= 0 {
+			factor = 1
+		}
+		s.Code = forecast.CodeVersion{Name: f.CodeName, CostFactor: factor}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("config: forecast %s: %w", f.Name, err)
+	}
+	return s, nil
+}
+
+// event builds the factory.Event for an EventJSON.
+func (e EventJSON) event() (factory.Event, error) {
+	switch e.Type {
+	case "set-timesteps":
+		if e.Forecast == "" || e.Timesteps <= 0 {
+			return nil, fmt.Errorf("config: day %d set-timesteps needs forecast and timesteps", e.Day)
+		}
+		return factory.SetTimesteps{Day: e.Day, Forecast: e.Forecast, Timesteps: e.Timesteps}, nil
+	case "set-code":
+		if e.Forecast == "" || e.CodeName == "" || e.CodeFactor <= 0 {
+			return nil, fmt.Errorf("config: day %d set-code needs forecast, codeName, codeFactor", e.Day)
+		}
+		return factory.SetCode{Day: e.Day, Forecast: e.Forecast,
+			Code: forecast.CodeVersion{Name: e.CodeName, CostFactor: e.CodeFactor}}, nil
+	case "set-mesh":
+		if e.Forecast == "" || e.MeshName == "" || e.MeshSides <= 0 {
+			return nil, fmt.Errorf("config: day %d set-mesh needs forecast, meshName, meshSides", e.Day)
+		}
+		return factory.SetMesh{Day: e.Day, Forecast: e.Forecast,
+			Mesh: forecast.Mesh{Name: e.MeshName, Sides: e.MeshSides}}, nil
+	case "add-forecast":
+		if e.Spec == nil || e.Node == "" {
+			return nil, fmt.Errorf("config: day %d add-forecast needs spec and node", e.Day)
+		}
+		s, err := e.Spec.spec()
+		if err != nil {
+			return nil, err
+		}
+		return factory.AddForecast{Day: e.Day, Spec: s, Node: e.Node}, nil
+	case "remove-forecast":
+		if e.Forecast == "" {
+			return nil, fmt.Errorf("config: day %d remove-forecast needs forecast", e.Day)
+		}
+		return factory.RemoveForecast{Day: e.Day, Forecast: e.Forecast}, nil
+	case "reassign":
+		if e.Forecast == "" || e.Node == "" {
+			return nil, fmt.Errorf("config: day %d reassign needs forecast and node", e.Day)
+		}
+		return factory.Reassign{Day: e.Day, Forecast: e.Forecast, Node: e.Node}, nil
+	case "add-node":
+		if e.Node == "" || e.CPUs <= 0 || e.Speed <= 0 {
+			return nil, fmt.Errorf("config: day %d add-node needs node, cpus, speed", e.Day)
+		}
+		return factory.AddNode{Day: e.Day,
+			Node: factory.NodeSpec{Name: e.Node, CPUs: e.CPUs, Speed: e.Speed}}, nil
+	case "fail-node":
+		if e.Node == "" {
+			return nil, fmt.Errorf("config: day %d fail-node needs node", e.Day)
+		}
+		return factory.FailNode{Day: e.Day, Node: e.Node}, nil
+	case "repair-node":
+		if e.Node == "" {
+			return nil, fmt.Errorf("config: day %d repair-node needs node", e.Day)
+		}
+		return factory.RepairNode{Day: e.Day, Node: e.Node}, nil
+	case "delay-input":
+		if e.Forecast == "" || e.DelayHours <= 0 {
+			return nil, fmt.Errorf("config: day %d delay-input needs forecast and delayHours", e.Day)
+		}
+		return factory.DelayInput{Day: e.Day, Forecast: e.Forecast, Delta: e.DelayHours * 3600}, nil
+	default:
+		return nil, fmt.Errorf("config: day %d has unknown event type %q", e.Day, e.Type)
+	}
+}
+
+// Parse converts a JSON document into a campaign configuration. The
+// resulting config is further validated by factory.New.
+func Parse(data []byte) (factory.Config, error) {
+	var f File
+	if err := unmarshalStrict(data, &f); err != nil {
+		return factory.Config{}, fmt.Errorf("config: %w", err)
+	}
+	cfg := factory.Config{
+		Year:      f.Year,
+		StartDay:  f.StartDay,
+		Days:      f.Days,
+		DrainDays: f.DrainDays,
+	}
+	for _, n := range f.Nodes {
+		if n.Name == "" || n.CPUs <= 0 || n.Speed <= 0 {
+			return factory.Config{}, fmt.Errorf("config: node %q needs name, cpus, speed", n.Name)
+		}
+		cfg.Nodes = append(cfg.Nodes, factory.NodeSpec{Name: n.Name, CPUs: n.CPUs, Speed: n.Speed})
+	}
+	for _, fc := range f.Forecasts {
+		if fc.Node == "" {
+			return factory.Config{}, fmt.Errorf("config: forecast %q needs a node", fc.Name)
+		}
+		s, err := fc.spec()
+		if err != nil {
+			return factory.Config{}, err
+		}
+		cfg.Forecasts = append(cfg.Forecasts, factory.Assignment{Spec: s, Node: fc.Node})
+	}
+	for _, ev := range f.Events {
+		e, err := ev.event()
+		if err != nil {
+			return factory.Config{}, err
+		}
+		cfg.Events = append(cfg.Events, e)
+	}
+	return cfg, nil
+}
+
+// unmarshalStrict rejects unknown fields, catching config typos.
+func unmarshalStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

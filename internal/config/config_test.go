@@ -1,0 +1,141 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/factory"
+)
+
+const sampleJSON = `{
+  "year": 2005,
+  "days": 30,
+  "nodes": [
+    {"name": "fnode01", "cpus": 2, "speed": 1.0},
+    {"name": "fnode02", "cpus": 2, "speed": 1.2}
+  ],
+  "forecasts": [
+    {"name": "forecast-tillamook", "region": "tillamook", "timesteps": 5760,
+     "meshSides": 24000, "products": 8, "startHour": 3, "priority": 5, "node": "fnode01"},
+    {"name": "forecast-dev", "timesteps": 5760, "meshSides": 19200,
+     "startHour": 4, "priority": 2, "node": "fnode02",
+     "codeName": "elcirc-dev-r100", "codeFactor": 1.0}
+  ],
+  "events": [
+    {"day": 21, "type": "set-timesteps", "forecast": "forecast-tillamook", "timesteps": 11520},
+    {"day": 10, "type": "set-code", "forecast": "forecast-dev", "codeName": "r2", "codeFactor": 1.5},
+    {"day": 11, "type": "set-mesh", "forecast": "forecast-dev", "meshName": "m2", "meshSides": 16800},
+    {"day": 12, "type": "add-forecast", "node": "fnode02",
+     "spec": {"name": "forecast-new", "timesteps": 2880, "meshSides": 14000, "startHour": 2}},
+    {"day": 20, "type": "remove-forecast", "forecast": "forecast-new"},
+    {"day": 13, "type": "reassign", "forecast": "forecast-dev", "node": "fnode01"},
+    {"day": 14, "type": "add-node", "node": "fnode03", "cpus": 4, "speed": 1.5},
+    {"day": 15, "type": "fail-node", "node": "fnode01"},
+    {"day": 16, "type": "repair-node", "node": "fnode01"},
+    {"day": 17, "type": "delay-input", "forecast": "forecast-tillamook", "delayHours": 2}
+  ]
+}`
+
+func TestParseSampleAndRun(t *testing.T) {
+	cfg, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Year != 2005 || cfg.Days != 30 || len(cfg.Nodes) != 2 ||
+		len(cfg.Forecasts) != 2 || len(cfg.Events) != 10 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	// The parsed config drives a real campaign.
+	c, err := factory.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := c.Run()
+	days, wt := factory.Walltimes(results, "forecast-tillamook")
+	if len(days) == 0 {
+		t.Fatal("no tillamook runs")
+	}
+	// The day-21 timestep doubling from the config takes effect.
+	var before, after float64
+	for i, d := range days {
+		if d == 18 {
+			before = wt[i]
+		}
+		if d == 25 {
+			after = wt[i]
+		}
+	}
+	if after < 1.8*before {
+		t.Fatalf("timestep event not applied: %v vs %v", before, after)
+	}
+	// add-forecast ran days 12..19.
+	newDays, _ := factory.Walltimes(results, "forecast-new")
+	if len(newDays) != 8 || newDays[0] != 12 || newDays[len(newDays)-1] != 19 {
+		t.Fatalf("forecast-new days = %v", newDays)
+	}
+}
+
+func TestParseDefaultsAndCodeOverride(t *testing.T) {
+	cfg, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := cfg.Forecasts[1].Spec
+	if dev.Region != "forecast-dev" {
+		t.Fatalf("region default = %q", dev.Region)
+	}
+	if dev.Code.Name != "elcirc-dev-r100" {
+		t.Fatalf("code = %+v", dev.Code)
+	}
+	if len(dev.Products) != 6 {
+		t.Fatalf("default products = %d", len(dev.Products))
+	}
+	if dev.StartOffset != 4*3600 {
+		t.Fatalf("start offset = %v", dev.StartOffset)
+	}
+}
+
+func TestParseRejectsBadDocuments(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"not json", `{`},
+		{"unknown field", `{"days": 1, "bogus": true}`},
+		{"bad node", `{"days": 1, "nodes": [{"name": "", "cpus": 2, "speed": 1}]}`},
+		{"forecast without node", `{"days": 1, "forecasts": [{"name": "f", "timesteps": 10, "meshSides": 10}]}`},
+		{"forecast zero timesteps", `{"days": 1, "forecasts": [{"name": "f", "timesteps": 0, "meshSides": 10, "node": "n"}]}`},
+		{"forecast bad hour", `{"days": 1, "forecasts": [{"name": "f", "timesteps": 10, "meshSides": 10, "node": "n", "startHour": 25}]}`},
+		{"unknown event", `{"days": 1, "events": [{"day": 1, "type": "explode"}]}`},
+		{"set-timesteps incomplete", `{"days": 1, "events": [{"day": 1, "type": "set-timesteps"}]}`},
+		{"set-code incomplete", `{"days": 1, "events": [{"day": 1, "type": "set-code", "forecast": "f"}]}`},
+		{"set-mesh incomplete", `{"days": 1, "events": [{"day": 1, "type": "set-mesh", "forecast": "f"}]}`},
+		{"add-forecast without spec", `{"days": 1, "events": [{"day": 1, "type": "add-forecast", "node": "n"}]}`},
+		{"add-forecast bad spec", `{"days": 1, "events": [{"day": 1, "type": "add-forecast", "node": "n", "spec": {"name": ""}}]}`},
+		{"remove without forecast", `{"days": 1, "events": [{"day": 1, "type": "remove-forecast"}]}`},
+		{"reassign incomplete", `{"days": 1, "events": [{"day": 1, "type": "reassign", "forecast": "f"}]}`},
+		{"add-node incomplete", `{"days": 1, "events": [{"day": 1, "type": "add-node", "node": "n"}]}`},
+		{"fail-node incomplete", `{"days": 1, "events": [{"day": 1, "type": "fail-node"}]}`},
+		{"repair-node incomplete", `{"days": 1, "events": [{"day": 1, "type": "repair-node"}]}`},
+		{"delay-input incomplete", `{"days": 1, "events": [{"day": 1, "type": "delay-input", "forecast": "f"}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := Parse([]byte(tc.json)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "config") && tc.name != "not json" && tc.name != "unknown field" {
+			t.Errorf("%s: error lacks context: %v", tc.name, err)
+		}
+	}
+}
+
+func TestParsedEventStringsWork(t *testing.T) {
+	cfg, err := Parse([]byte(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range cfg.Events {
+		if e.String() == "" {
+			t.Fatalf("event %T renders empty", e)
+		}
+	}
+}

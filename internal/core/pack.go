@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Heuristic selects a node-assignment strategy. The paper's ForeMan
+// approximates optimal assignment with bin-packing heuristics [Coffman,
+// Garey & Johnson]; StayPut is its default behaviour of keeping each
+// forecast where it ran the previous day.
+type Heuristic int
+
+// Assignment heuristics.
+const (
+	// StayPut assigns each run to its PrevNode when that node exists and
+	// is up, falling back to the least-loaded node.
+	StayPut Heuristic = iota
+	// FirstFitDecreasing places runs in decreasing work order on the
+	// first node (name order) with enough slack in the run's window.
+	FirstFitDecreasing
+	// BestFitDecreasing places runs in decreasing work order on the
+	// feasible node with the least remaining slack (tightest fit).
+	BestFitDecreasing
+	// WorstFitDecreasing places runs in decreasing work order on the node
+	// with the most remaining slack (best balance).
+	WorstFitDecreasing
+)
+
+// String names the heuristic.
+func (h Heuristic) String() string {
+	switch h {
+	case StayPut:
+		return "stay-put"
+	case FirstFitDecreasing:
+		return "first-fit-decreasing"
+	case BestFitDecreasing:
+		return "best-fit-decreasing"
+	case WorstFitDecreasing:
+		return "worst-fit-decreasing"
+	default:
+		return fmt.Sprintf("Heuristic(%d)", int(h))
+	}
+}
+
+// Pack assigns every run to a node using the heuristic. The load model
+// used for packing is capacity-seconds: a run contributes Work, a node
+// offers Capacity() × window. Deadline feasibility of the resulting plan
+// is the predictor's job — callers should Predict and, if needed, repair
+// with delay/drop policies.
+func Pack(nodes []NodeInfo, runs []Run, h Heuristic) (map[string]string, error) {
+	plan := &Plan{Nodes: nodes, Runs: runs, Assign: map[string]string{}}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	up := make([]NodeInfo, 0, len(nodes))
+	for _, n := range nodes {
+		if !n.Down {
+			up = append(up, n)
+		}
+	}
+	if len(up) == 0 {
+		return nil, fmt.Errorf("core: no nodes available for packing")
+	}
+	sort.Slice(up, func(i, j int) bool { return up[i].Name < up[j].Name })
+
+	load := make(map[string]float64, len(up)) // reference CPU-seconds
+	assign := make(map[string]string, len(runs))
+
+	place := func(r Run, node NodeInfo) {
+		assign[r.Name] = node.Name
+		load[node.Name] += r.Work
+	}
+	leastLoaded := func() NodeInfo {
+		best := up[0]
+		bestLoad := load[best.Name] / best.Capacity()
+		for _, n := range up[1:] {
+			if l := load[n.Name] / n.Capacity(); l < bestLoad {
+				best, bestLoad = n, l
+			}
+		}
+		return best
+	}
+	// slack is the remaining capacity-seconds of a node within the run's
+	// window after placing the run; negative means the window is
+	// over-committed.
+	slack := func(r Run, n NodeInfo) float64 {
+		window := r.Deadline - r.Start
+		if r.Deadline <= 0 {
+			window = 86400 - r.Start
+		}
+		return n.Capacity()*window - (load[n.Name] + r.Work)
+	}
+
+	switch h {
+	case StayPut:
+		for _, r := range runs {
+			if prev, ok := nodeByName(up, r.PrevNode); ok {
+				place(r, prev)
+				continue
+			}
+			place(r, leastLoaded())
+		}
+		return assign, nil
+
+	case FirstFitDecreasing, BestFitDecreasing, WorstFitDecreasing:
+		ordered := append([]Run(nil), runs...)
+		sort.Slice(ordered, func(i, j int) bool {
+			if ordered[i].Work != ordered[j].Work {
+				return ordered[i].Work > ordered[j].Work
+			}
+			return ordered[i].Name < ordered[j].Name
+		})
+		for _, r := range ordered {
+			var chosen *NodeInfo
+			switch h {
+			case FirstFitDecreasing:
+				for i := range up {
+					if slack(r, up[i]) >= 0 {
+						chosen = &up[i]
+						break
+					}
+				}
+			case BestFitDecreasing:
+				bestSlack := 0.0
+				for i := range up {
+					s := slack(r, up[i])
+					if s >= 0 && (chosen == nil || s < bestSlack) {
+						chosen = &up[i]
+						bestSlack = s
+					}
+				}
+			case WorstFitDecreasing:
+				bestSlack := 0.0
+				for i := range up {
+					s := slack(r, up[i])
+					if s >= 0 && (chosen == nil || s > bestSlack) {
+						chosen = &up[i]
+						bestSlack = s
+					}
+				}
+			}
+			if chosen == nil {
+				// Nothing fits in the window: overload the least-loaded
+				// node and let the deadline policy sort it out.
+				n := leastLoaded()
+				chosen = &n
+			}
+			place(r, *chosen)
+		}
+		return assign, nil
+
+	default:
+		return nil, fmt.Errorf("core: unknown heuristic %v", h)
+	}
+}
+
+func nodeByName(nodes []NodeInfo, name string) (NodeInfo, bool) {
+	for _, n := range nodes {
+		if n.Name == name {
+			return n, true
+		}
+	}
+	return NodeInfo{}, false
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func plant(n int) []NodeInfo {
+	nodes := make([]NodeInfo, n)
+	for i := range nodes {
+		nodes[i] = NodeInfo{Name: string(rune('a' + i)), CPUs: 2, Speed: 1.0}
+	}
+	return nodes
+}
+
+func mkRuns(works ...float64) []Run {
+	runs := make([]Run, len(works))
+	for i, w := range works {
+		runs[i] = Run{Name: string(rune('p' + i)), Work: w, Deadline: 86400}
+	}
+	return runs
+}
+
+func TestStayPutHonorsPreviousNode(t *testing.T) {
+	nodes := plant(3)
+	runs := mkRuns(100, 100)
+	runs[0].PrevNode = "c"
+	runs[1].PrevNode = "b"
+	assign, err := Pack(nodes, runs, StayPut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[runs[0].Name] != "c" || assign[runs[1].Name] != "b" {
+		t.Fatalf("assign = %v", assign)
+	}
+}
+
+func TestStayPutFallsBackWhenPrevNodeGone(t *testing.T) {
+	nodes := plant(2)
+	nodes[1].Down = true
+	runs := mkRuns(100)
+	runs[0].PrevNode = "b" // down
+	assign, err := Pack(nodes, runs, StayPut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign[runs[0].Name] != "a" {
+		t.Fatalf("assign = %v", assign)
+	}
+}
+
+func TestFFDSpreadsOverflow(t *testing.T) {
+	// Two nodes, window capacity 2 CPUs × 86400 = 172800 each. Three runs
+	// of 100k: FFD puts the first on a, second still fits a (wait: 200k >
+	// 172800, does not fit) → b, third → a is full, b is full → least
+	// loaded.
+	nodes := plant(2)
+	runs := mkRuns(100000, 100000, 100000)
+	assign, err := Pack(nodes, runs, FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, n := range assign {
+		counts[n]++
+	}
+	if counts["a"]+counts["b"] != 3 || counts["a"] == 0 || counts["b"] == 0 {
+		t.Fatalf("assign = %v", assign)
+	}
+}
+
+func TestWFDBalancesLoad(t *testing.T) {
+	nodes := plant(3)
+	runs := mkRuns(300, 200, 100, 100, 100)
+	assign, err := Pack(nodes, runs, WorstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	load := map[string]float64{}
+	byName := map[string]Run{}
+	for _, r := range runs {
+		byName[r.Name] = r
+		load[assign[r.Name]] += r.Work
+	}
+	// Perfect balance exists (300 | 200+100 | 100+100); WFD should land
+	// within a modest spread.
+	for _, l := range load {
+		if l < 200 || l > 400 {
+			t.Fatalf("unbalanced loads: %v", load)
+		}
+	}
+}
+
+func TestBFDTightensFit(t *testing.T) {
+	// BFD places each run on the node with least remaining slack; with a
+	// big run on node a, a second small run should co-locate on a only if
+	// it still fits; here windows are tight so it goes where the fit is
+	// tightest but feasible.
+	nodes := plant(2)
+	runs := []Run{
+		{Name: "big", Work: 150000, Deadline: 86400},
+		{Name: "small", Work: 10000, Deadline: 86400},
+	}
+	assign, err := Pack(nodes, runs, BestFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node a after big: slack = 172800-150000-10000 = 12800; node b slack
+	// = 172800-10000. BFD picks the tighter fit: a.
+	if assign["small"] != assign["big"] {
+		t.Fatalf("assign = %v, want co-located (tightest fit)", assign)
+	}
+}
+
+func TestPackSkipsDownNodes(t *testing.T) {
+	nodes := plant(3)
+	nodes[0].Down = true
+	runs := mkRuns(100, 100, 100, 100)
+	for _, h := range []Heuristic{StayPut, FirstFitDecreasing, BestFitDecreasing, WorstFitDecreasing} {
+		assign, err := Pack(nodes, runs, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run, node := range assign {
+			if node == "a" {
+				t.Fatalf("%v assigned %s to down node", h, run)
+			}
+		}
+	}
+}
+
+func TestPackAllNodesDownFails(t *testing.T) {
+	nodes := plant(1)
+	nodes[0].Down = true
+	if _, err := Pack(nodes, mkRuns(10), FirstFitDecreasing); err == nil {
+		t.Fatal("packing onto a dead plant succeeded")
+	}
+}
+
+func TestPackUnknownHeuristicFails(t *testing.T) {
+	if _, err := Pack(plant(1), mkRuns(10), Heuristic(99)); err == nil {
+		t.Fatal("unknown heuristic accepted")
+	}
+}
+
+func TestPackInvalidInputFails(t *testing.T) {
+	runs := mkRuns(10)
+	runs[0].Work = -1
+	if _, err := Pack(plant(1), runs, FirstFitDecreasing); err == nil {
+		t.Fatal("invalid run accepted")
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	for _, h := range []Heuristic{StayPut, FirstFitDecreasing, BestFitDecreasing, WorstFitDecreasing, Heuristic(9)} {
+		if h.String() == "" {
+			t.Fatal("empty heuristic name")
+		}
+	}
+}
+
+// Property: every heuristic assigns every run to an up node.
+func TestPropertyPackTotalAndValid(t *testing.T) {
+	f := func(worksRaw []uint16, hRaw uint8, downRaw uint8) bool {
+		if len(worksRaw) == 0 || len(worksRaw) > 12 {
+			return true
+		}
+		nodes := plant(4)
+		down := int(downRaw % 3) // leave at least one node up
+		for i := 0; i < down; i++ {
+			nodes[i].Down = true
+		}
+		runs := make([]Run, len(worksRaw))
+		for i, w := range worksRaw {
+			runs[i] = Run{Name: string(rune('p' + i)), Work: float64(w), Deadline: 86400}
+		}
+		h := Heuristic(hRaw % 4)
+		assign, err := Pack(nodes, runs, h)
+		if err != nil {
+			return false
+		}
+		if len(assign) != len(runs) {
+			return false
+		}
+		for _, nodeName := range assign {
+			n, ok := nodeByName(nodes, nodeName)
+			if !ok || n.Down {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for equal-size runs, WFD never loads one node with two more
+// runs than another (balance).
+func TestPropertyWFDBalance(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		nodes := plant(4)
+		runs := make([]Run, n)
+		for i := range runs {
+			runs[i] = Run{Name: string(rune('A' + i)), Work: 1000, Deadline: 86400}
+		}
+		assign, err := Pack(nodes, runs, WorstFitDecreasing)
+		if err != nil {
+			return false
+		}
+		counts := map[string]int{}
+		for _, node := range assign {
+			counts[node]++
+		}
+		minC, maxC := n, 0
+		for _, node := range nodes {
+			c := counts[node.Name]
+			if c < minC {
+				minC = c
+			}
+			if c > maxC {
+				maxC = c
+			}
+		}
+		return maxC-minC <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,291 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+const eps = 1e-6
+
+func almost(a, b float64) bool {
+	return math.Abs(a-b) <= eps*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func twoCPUNode() []NodeInfo {
+	return []NodeInfo{{Name: "n1", CPUs: 2, Speed: 1.0}}
+}
+
+func TestPredictSingleRun(t *testing.T) {
+	plan := &Plan{
+		Nodes:  twoCPUNode(),
+		Runs:   []Run{{Name: "a", Work: 40000, Start: 10800}},
+		Assign: map[string]string{"a": "n1"},
+	}
+	pred, err := plan.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(pred.Completion["a"], 50800) {
+		t.Fatalf("completion = %v, want 50800", pred.Completion["a"])
+	}
+}
+
+func TestPredictPaperExampleThreeRunsTwoCPUs(t *testing.T) {
+	// §4.1: three concurrent forecasts on a 2-CPU node each get 2/3 of a
+	// CPU.
+	plan := &Plan{
+		Nodes: twoCPUNode(),
+		Runs: []Run{
+			{Name: "a", Work: 1000},
+			{Name: "b", Work: 1000},
+			{Name: "c", Work: 1000},
+		},
+		Assign: map[string]string{"a": "n1", "b": "n1", "c": "n1"},
+	}
+	pred, err := plan.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !almost(pred.Completion[name], 1500) {
+			t.Fatalf("%s completes at %v, want 1500", name, pred.Completion[name])
+		}
+	}
+}
+
+func TestPredictStaggeredArrivals(t *testing.T) {
+	// One CPU: a arrives at 0 (work 100), b at 50 (work 100).
+	// a: 50 alone + shares until its 50 remaining done at rate 1/2 → 150.
+	// b: 50 done by 150, then alone for 50 → 200.
+	plan := &Plan{
+		Nodes: []NodeInfo{{Name: "n1", CPUs: 1, Speed: 1.0}},
+		Runs: []Run{
+			{Name: "a", Work: 100, Start: 0},
+			{Name: "b", Work: 100, Start: 50},
+		},
+		Assign: map[string]string{"a": "n1", "b": "n1"},
+	}
+	pred, err := plan.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(pred.Completion["a"], 150) || !almost(pred.Completion["b"], 200) {
+		t.Fatalf("completions = %v", pred.Completion)
+	}
+}
+
+func TestPredictIdleGapBetweenRuns(t *testing.T) {
+	plan := &Plan{
+		Nodes: []NodeInfo{{Name: "n1", CPUs: 1, Speed: 1.0}},
+		Runs: []Run{
+			{Name: "a", Work: 10, Start: 0},
+			{Name: "b", Work: 10, Start: 1000},
+		},
+		Assign: map[string]string{"a": "n1", "b": "n1"},
+	}
+	pred, err := plan.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(pred.Completion["a"], 10) || !almost(pred.Completion["b"], 1010) {
+		t.Fatalf("completions = %v", pred.Completion)
+	}
+}
+
+func TestPredictNodeSpeedScales(t *testing.T) {
+	plan := &Plan{
+		Nodes:  []NodeInfo{{Name: "fast", CPUs: 2, Speed: 2.0}},
+		Runs:   []Run{{Name: "a", Work: 1000}},
+		Assign: map[string]string{"a": "fast"},
+	}
+	pred, err := plan.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(pred.Completion["a"], 500) {
+		t.Fatalf("completion = %v, want 500", pred.Completion["a"])
+	}
+}
+
+func TestPredictDownNodeAndUnassigned(t *testing.T) {
+	plan := &Plan{
+		Nodes: []NodeInfo{
+			{Name: "n1", CPUs: 2, Speed: 1, Down: true},
+			{Name: "n2", CPUs: 2, Speed: 1},
+		},
+		Runs: []Run{
+			{Name: "a", Work: 100},
+			{Name: "b", Work: 100},
+		},
+		Assign: map[string]string{"a": "n1"},
+	}
+	pred, err := plan.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(pred.Completion["a"], 1) {
+		t.Fatalf("down-node run completion = %v, want +Inf", pred.Completion["a"])
+	}
+	if !math.IsInf(pred.Completion["b"], 1) {
+		t.Fatalf("unassigned run completion = %v, want +Inf", pred.Completion["b"])
+	}
+}
+
+func TestPredictZeroWorkRun(t *testing.T) {
+	plan := &Plan{
+		Nodes:  twoCPUNode(),
+		Runs:   []Run{{Name: "a", Work: 0, Start: 500}},
+		Assign: map[string]string{"a": "n1"},
+	}
+	pred, err := plan.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(pred.Completion["a"], 500) {
+		t.Fatalf("completion = %v, want 500", pred.Completion["a"])
+	}
+}
+
+func TestLateAndFeasible(t *testing.T) {
+	plan := &Plan{
+		Nodes: []NodeInfo{{Name: "n1", CPUs: 1, Speed: 1}},
+		Runs: []Run{
+			{Name: "a", Work: 100, Deadline: 150},
+			{Name: "b", Work: 100, Deadline: 150},
+			{Name: "c", Work: 50}, // no deadline: never late
+		},
+		Assign: map[string]string{"a": "n1", "b": "n1", "c": "n1"},
+	}
+	pred, err := plan.Predict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := pred.Late(plan)
+	if len(late) != 2 || late[0] != "a" || late[1] != "b" {
+		t.Fatalf("late = %v", late)
+	}
+	if pred.Feasible(plan) {
+		t.Fatal("infeasible plan reported feasible")
+	}
+	if pred.Makespan() <= 0 {
+		t.Fatal("makespan not positive")
+	}
+}
+
+func TestValidateCatchesBadPlans(t *testing.T) {
+	good := func() *Plan {
+		return &Plan{
+			Nodes:  twoCPUNode(),
+			Runs:   []Run{{Name: "a", Work: 10}},
+			Assign: map[string]string{"a": "n1"},
+		}
+	}
+	cases := []func(*Plan){
+		func(p *Plan) { p.Nodes[0].Name = "" },
+		func(p *Plan) { p.Nodes = append(p.Nodes, p.Nodes[0]) },
+		func(p *Plan) { p.Nodes[0].CPUs = 0 },
+		func(p *Plan) { p.Nodes[0].Speed = -1 },
+		func(p *Plan) { p.Runs[0].Name = "" },
+		func(p *Plan) { p.Runs = append(p.Runs, p.Runs[0]) },
+		func(p *Plan) { p.Runs[0].Work = -1 },
+		func(p *Plan) { p.Runs[0].Start = -5 },
+		func(p *Plan) { p.Runs[0].Deadline = 5; p.Runs[0].Start = 10 },
+		func(p *Plan) { p.Assign["zz"] = "n1" },
+		func(p *Plan) { p.Assign["a"] = "zz" },
+	}
+	for i, mutate := range cases {
+		p := good()
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted bad plan", i)
+		}
+	}
+	if err := good().Validate(); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+func TestPlanMoveAndClone(t *testing.T) {
+	p := &Plan{
+		Nodes:  []NodeInfo{{Name: "n1", CPUs: 2, Speed: 1}, {Name: "n2", CPUs: 2, Speed: 1}},
+		Runs:   []Run{{Name: "a", Work: 10}},
+		Assign: map[string]string{"a": "n1"},
+	}
+	c := p.Clone()
+	if err := c.Move("a", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Assign["a"] != "n1" || c.Assign["a"] != "n2" {
+		t.Fatal("Clone aliases assignment")
+	}
+	if err := c.Move("zz", "n1"); err == nil {
+		t.Fatal("moved unknown run")
+	}
+	if err := c.Move("a", "zz"); err == nil {
+		t.Fatal("moved to unknown node")
+	}
+	if got := (&Plan{Runs: []Run{{Name: "x"}}, Assign: map[string]string{}}).Unassigned(); len(got) != 1 || got[0] != "x" {
+		t.Fatalf("Unassigned = %v", got)
+	}
+}
+
+// Property: the analytic predictor agrees with the discrete-event
+// simulator on random single-node workloads — the same cross-validation
+// the paper performed empirically for the CPU-sharing assumption.
+func TestPropertyPredictorMatchesSimulator(t *testing.T) {
+	f := func(worksRaw []uint16, startsRaw []uint8, cpusRaw, speedRaw uint8) bool {
+		n := len(worksRaw)
+		if n == 0 || n > 8 || len(startsRaw) < n {
+			return true
+		}
+		cpus := int(cpusRaw%3) + 1
+		speed := 0.5 + float64(speedRaw%8)*0.25
+		node := NodeInfo{Name: "n", CPUs: cpus, Speed: speed}
+
+		runs := make([]Run, n)
+		assign := make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			name := string(rune('a' + i))
+			runs[i] = Run{
+				Name:  name,
+				Work:  float64(worksRaw[i]%5000) + 1,
+				Start: float64(startsRaw[i]) * 37,
+			}
+			assign[name] = "n"
+		}
+		plan := &Plan{Nodes: []NodeInfo{node}, Runs: runs, Assign: assign}
+		pred, err := plan.Predict()
+		if err != nil {
+			return false
+		}
+
+		// Replay on the discrete-event simulator.
+		eng := sim.NewEngine()
+		cl := cluster.New(eng)
+		cn := cl.AddNode("n", cpus, speed)
+		simDone := make(map[string]float64, n)
+		for _, r := range runs {
+			r := r
+			eng.At(r.Start, func() {
+				cn.Submit(r.Name, r.Work, func() { simDone[r.Name] = eng.Now() })
+			})
+		}
+		eng.Run()
+
+		for _, r := range runs {
+			a, b := pred.Completion[r.Name], simDone[r.Name]
+			if math.Abs(a-b) > 1e-6*math.Max(1, b) {
+				t.Logf("run %s: predictor %v vs simulator %v", r.Name, a, b)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ScheduleOptions configures BuildSchedule.
+type ScheduleOptions struct {
+	Heuristic Heuristic
+	// AllowDrop lets the scheduler drop the lowest-priority runs when no
+	// assignment meets every deadline (§4.1: ForeMan "may automatically
+	// delay or drop lower priority forecasts if needed").
+	AllowDrop bool
+	// MaxDrops caps how many runs may be dropped (default: all but one).
+	MaxDrops int
+}
+
+// Schedule is a packed, predicted plan.
+type Schedule struct {
+	Plan       *Plan
+	Prediction Prediction
+	Dropped    []string // runs dropped to restore feasibility
+}
+
+// Late returns the runs still predicted to miss their deadlines.
+func (s *Schedule) Late() []string { return s.Prediction.Late(s.Plan) }
+
+// Feasible reports whether the schedule meets every deadline.
+func (s *Schedule) Feasible() bool { return s.Prediction.Feasible(s.Plan) }
+
+// BuildSchedule packs runs onto nodes, predicts completion times, and —
+// when allowed — drops the lowest-priority runs until the remainder is
+// feasible.
+func BuildSchedule(nodes []NodeInfo, runs []Run, opts ScheduleOptions) (*Schedule, error) {
+	assign, err := Pack(nodes, runs, opts.Heuristic)
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Nodes: nodes, Runs: runs, Assign: assign}
+	s := &Schedule{Plan: plan}
+	if err := s.repredict(); err != nil {
+		return nil, err
+	}
+	if !opts.AllowDrop {
+		return s, nil
+	}
+	maxDrops := opts.MaxDrops
+	if maxDrops <= 0 {
+		maxDrops = len(runs) - 1
+	}
+	for len(s.Dropped) < maxDrops && !s.Feasible() {
+		victim, ok := s.dropCandidate()
+		if !ok {
+			break
+		}
+		s.drop(victim)
+		if err := s.repredict(); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// dropCandidate picks the lowest-priority run on any node with a late run
+// (smallest priority, then largest work, then name).
+func (s *Schedule) dropCandidate() (string, bool) {
+	late := s.Late()
+	if len(late) == 0 {
+		return "", false
+	}
+	hotNodes := make(map[string]bool)
+	for _, name := range late {
+		hotNodes[s.Plan.Assign[name]] = true
+	}
+	var victim *Run
+	for i := range s.Plan.Runs {
+		r := &s.Plan.Runs[i]
+		if !hotNodes[s.Plan.Assign[r.Name]] {
+			continue
+		}
+		if victim == nil ||
+			r.Priority < victim.Priority ||
+			(r.Priority == victim.Priority && r.Work > victim.Work) ||
+			(r.Priority == victim.Priority && r.Work == victim.Work && r.Name < victim.Name) {
+			victim = r
+		}
+	}
+	if victim == nil {
+		return "", false
+	}
+	return victim.Name, true
+}
+
+// drop removes a run from the plan.
+func (s *Schedule) drop(name string) {
+	for i, r := range s.Plan.Runs {
+		if r.Name == name {
+			s.Plan.Runs = append(s.Plan.Runs[:i], s.Plan.Runs[i+1:]...)
+			break
+		}
+	}
+	delete(s.Plan.Assign, name)
+	s.Dropped = append(s.Dropped, name)
+	sort.Strings(s.Dropped)
+}
+
+func (s *Schedule) repredict() error {
+	pred, err := s.Plan.Predict()
+	if err != nil {
+		return err
+	}
+	s.Prediction = pred
+	return nil
+}
+
+// Move reassigns one run and repredicts — the what-if interaction of the
+// ForeMan interface ("the tool will automatically recompute the expected
+// completion times of all affected workflows").
+func (s *Schedule) Move(run, node string) error {
+	if err := s.Plan.Move(run, node); err != nil {
+		return err
+	}
+	return s.repredict()
+}
+
+// Delay shifts a run's start time and repredicts — the response to late
+// input data (§4.1: forecasts "may be delayed ... if data arrival is
+// delayed"), or the other half of the ForeMan interaction ("their
+// starting times may be adjusted").
+func (s *Schedule) Delay(run string, newStart float64) error {
+	if newStart < 0 {
+		return fmt.Errorf("core: Delay(%q) to negative start %v", run, newStart)
+	}
+	for i := range s.Plan.Runs {
+		if s.Plan.Runs[i].Name == run {
+			s.Plan.Runs[i].Start = newStart
+			return s.repredict()
+		}
+	}
+	return fmt.Errorf("core: unknown run %q", run)
+}
+
+// ReschedulePolicy selects how much of the plan may change when the plant
+// changes under it.
+type ReschedulePolicy int
+
+// Rescheduling policies (§4.1: "when a new forecast or node is permanently
+// added to the factory, rescheduling all forecasts may be beneficial, but
+// when a node temporarily fails users may wish to reschedule only a
+// subset").
+const (
+	// MinimalMove keeps every assignment on surviving nodes and re-packs
+	// only the displaced runs.
+	MinimalMove ReschedulePolicy = iota
+	// FullReshuffle re-packs every run from scratch.
+	FullReshuffle
+)
+
+// String names the policy.
+func (p ReschedulePolicy) String() string {
+	switch p {
+	case MinimalMove:
+		return "minimal-move"
+	case FullReshuffle:
+		return "full-reshuffle"
+	default:
+		return fmt.Sprintf("ReschedulePolicy(%d)", int(p))
+	}
+}
+
+// RescheduleAfterFailure marks a node down and reassigns its runs. With
+// MinimalMove, displaced runs go to the least-loaded surviving nodes; with
+// FullReshuffle everything is re-packed with the given heuristic.
+func RescheduleAfterFailure(s *Schedule, failed string, pol ReschedulePolicy, h Heuristic) (*Schedule, error) {
+	plan := s.Plan.Clone()
+	found := false
+	for i := range plan.Nodes {
+		if plan.Nodes[i].Name == failed {
+			plan.Nodes[i].Down = true
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: unknown node %q", failed)
+	}
+
+	switch pol {
+	case FullReshuffle:
+		assign, err := Pack(plan.Nodes, plan.Runs, h)
+		if err != nil {
+			return nil, err
+		}
+		plan.Assign = assign
+	case MinimalMove:
+		// Re-pack only the displaced runs against residual loads.
+		var displaced []Run
+		for _, r := range plan.Runs {
+			if plan.Assign[r.Name] == failed {
+				displaced = append(displaced, r)
+				delete(plan.Assign, r.Name)
+			}
+		}
+		sort.Slice(displaced, func(i, j int) bool {
+			if displaced[i].Work != displaced[j].Work {
+				return displaced[i].Work > displaced[j].Work
+			}
+			return displaced[i].Name < displaced[j].Name
+		})
+		load := make(map[string]float64)
+		for _, r := range plan.Runs {
+			if node, ok := plan.Assign[r.Name]; ok {
+				load[node] += r.Work
+			}
+		}
+		for _, r := range displaced {
+			best := ""
+			bestLoad := 0.0
+			for _, n := range plan.Nodes {
+				if n.Down {
+					continue
+				}
+				l := load[n.Name] / n.Capacity()
+				if best == "" || l < bestLoad {
+					best, bestLoad = n.Name, l
+				}
+			}
+			if best == "" {
+				return nil, fmt.Errorf("core: no surviving node for run %q", r.Name)
+			}
+			plan.Assign[r.Name] = best
+			load[best] += r.Work
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown reschedule policy %v", pol)
+	}
+
+	out := &Schedule{Plan: plan, Dropped: append([]string(nil), s.Dropped...)}
+	if err := out.repredict(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MovedRuns returns the names of runs whose assignment differs between two
+// schedules, sorted — the disruption metric for comparing policies.
+func MovedRuns(before, after *Schedule) []string {
+	var moved []string
+	for run, node := range after.Plan.Assign {
+		if prev, ok := before.Plan.Assign[run]; ok && prev != node {
+			moved = append(moved, run)
+		}
+	}
+	sort.Strings(moved)
+	return moved
+}

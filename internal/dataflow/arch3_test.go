@@ -1,0 +1,95 @@
+package dataflow
+
+import (
+	"testing"
+
+	"repro/internal/forecast"
+)
+
+func TestPartitionedSingleNodeMatchesArchitecture2Shape(t *testing.T) {
+	// k=1 is Architecture 2 plus an extra product hop to the server: the
+	// run walltime matches Arch 2 closely; end-to-end trails by the
+	// product transfer lag.
+	a2 := Run(Architecture2, Params{})
+	a3 := RunPartitioned(Params{}, 1)
+	if rel := (a3.RunWalltime - a2.RunWalltime) / a2.RunWalltime; rel < -0.02 || rel > 0.10 {
+		t.Fatalf("k=1 run walltime %v vs Arch2 %v", a3.RunWalltime, a2.RunWalltime)
+	}
+	if a3.EndToEnd < a2.EndToEnd {
+		t.Fatalf("k=1 end-to-end %v should not beat Arch2 %v (extra hop)", a3.EndToEnd, a2.EndToEnd)
+	}
+}
+
+func TestPartitioningTodayBringsLittleBenefit(t *testing.T) {
+	// §2.2: "in the current factory implementation, there is generally
+	// little benefit to generating data products for a single forecast
+	// concurrently at multiple nodes, due to high data transfer overhead".
+	a2 := Run(Architecture2, Params{})
+	a3 := RunPartitioned(Params{}, 4)
+	// No meaningful end-to-end win at today's product load...
+	if a2.EndToEnd-a3.EndToEnd > 0.05*a2.EndToEnd {
+		t.Fatalf("partitioning won big today (%v vs %v); paper says it should not", a3.EndToEnd, a2.EndToEnd)
+	}
+	// ...and the transfer overhead multiplies: outputs ship to every
+	// worker.
+	if a3.BytesOverLink < 3*a2.BytesOverLink {
+		t.Fatalf("k=4 moved %v bytes, want ≫ Arch2's %v", a3.BytesOverLink, a2.BytesOverLink)
+	}
+}
+
+func TestPartitioningWinsWhenProductLoadGrows(t *testing.T) {
+	// The regime the paper expects to revisit: with 4× the product load,
+	// one server saturates while four workers keep up.
+	heavy := forecast.ReplicateProducts(forecast.DataflowForecast(), 4)
+	one := Run(Architecture2, Params{Spec: heavy, Workers: 4})
+	four := RunPartitioned(Params{Spec: heavy, Workers: 4}, 4)
+	if four.RunWalltime >= one.RunWalltime {
+		t.Fatalf("partitioned heavy load %v not faster than single server %v",
+			four.RunWalltime, one.RunWalltime)
+	}
+}
+
+func TestPartitionKeepsDependencyGroupsTogether(t *testing.T) {
+	spec := forecast.DataflowForecast() // includes animations with deps
+	parts := partitionProducts(spec.Products, 3)
+	where := map[string]int{}
+	total := 0
+	for i, part := range parts {
+		for _, p := range part {
+			where[p.Name] = i
+			total++
+		}
+	}
+	if total != len(spec.Products) {
+		t.Fatalf("partitioned %d of %d products", total, len(spec.Products))
+	}
+	for _, p := range spec.Products {
+		for _, dep := range p.DependsOn {
+			if where[p.Name] != where[dep] {
+				t.Fatalf("product %s (part %d) split from dependency %s (part %d)",
+					p.Name, where[p.Name], dep, where[dep])
+			}
+		}
+	}
+}
+
+func TestPartitionBalancesLoad(t *testing.T) {
+	spec := forecast.ReplicateProducts(forecast.DataflowForecast(), 2)
+	parts := partitionProducts(spec.Products, 4)
+	counts := make([]int, len(parts))
+	for i, part := range parts {
+		counts[i] = len(part)
+	}
+	for _, c := range counts {
+		if c == 0 {
+			t.Fatalf("empty partition: %v", counts)
+		}
+	}
+}
+
+func TestPartitionedClampsK(t *testing.T) {
+	res := RunPartitioned(Params{}, 0) // clamped to 1
+	if res.EndToEnd <= 0 {
+		t.Fatal("k=0 run failed")
+	}
+}

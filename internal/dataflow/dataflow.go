@@ -1,0 +1,334 @@
+// Package dataflow assembles the two data-flow architectures of §4.2 of
+// the paper and measures when run data becomes available at the public
+// server.
+//
+// Architecture 1 (Figure 4): the simulation and the product-generating
+// master process both execute at the compute node; rsync incrementally
+// copies model outputs AND data products to the server.
+//
+// Architecture 2 (Figure 5): the simulation executes at the compute node
+// and rsync copies only the model outputs to the server; the master
+// process runs at the server, generating products from the delivered
+// copies and exploiting the server's otherwise idle CPU.
+package dataflow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/forecast"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/workflow"
+)
+
+// Architecture selects a data-flow architecture.
+type Architecture int
+
+// The two architectures evaluated in the paper.
+const (
+	Architecture1 Architecture = 1
+	Architecture2 Architecture = 2
+)
+
+// String names the architecture as in the paper.
+func (a Architecture) String() string {
+	switch a {
+	case Architecture1:
+		return "Architecture 1 (model and data products at nodes)"
+	case Architecture2:
+		return "Architecture 2 (data products at server)"
+	default:
+		return fmt.Sprintf("Architecture(%d)", int(a))
+	}
+}
+
+// Params configures an architecture experiment. Zero fields take the
+// defaults of the paper's §4.2 testbed: a 2.80 GHz single-CPU client
+// (reference speed 1.0), a 2.60 GHz single-CPU server (0.93), a 100 Mb/s
+// LAN, rsync every 5 minutes, and the standard run execution parameters.
+type Params struct {
+	Spec *forecast.Spec
+
+	ClientCPUs  int
+	ClientSpeed float64
+	ServerCPUs  int
+	ServerSpeed float64
+
+	Bandwidth     float64 // link bytes/second
+	RsyncInterval float64 // seconds between rsync scans
+
+	Increments int
+	Workers    int
+	Poll       float64
+
+	// Watch lists run-relative data series to sample, as in Figures 6/7.
+	// Entries name either model-output files or product directories; the
+	// special name "process" watches the master process's directory.
+	// Nil selects the paper's five series.
+	Watch []string
+
+	// SampleInterval is the spacing of series samples (default 60 s).
+	SampleInterval float64
+}
+
+// DefaultWatch is the five series plotted in Figures 6 and 7.
+var DefaultWatch = []string{
+	"1_salt.63",
+	"2_salt.63",
+	"isosal_far_surface",
+	"isosal_near_surface",
+	"process",
+}
+
+func (p *Params) fillDefaults() {
+	if p.Spec == nil {
+		p.Spec = forecast.DataflowForecast()
+	}
+	if p.ClientCPUs == 0 {
+		p.ClientCPUs = 1
+	}
+	if p.ClientSpeed == 0 {
+		p.ClientSpeed = 1.0
+	}
+	if p.ServerCPUs == 0 {
+		p.ServerCPUs = 1
+	}
+	if p.ServerSpeed == 0 {
+		p.ServerSpeed = 2.60 / 2.80
+	}
+	if p.Bandwidth == 0 {
+		p.Bandwidth = 12.5e6
+	}
+	if p.RsyncInterval == 0 {
+		p.RsyncInterval = 300
+	}
+	if p.Increments == 0 {
+		p.Increments = workflow.DefaultIncrements
+	}
+	if p.Workers == 0 {
+		p.Workers = workflow.DefaultWorkers
+	}
+	if p.Poll == 0 {
+		p.Poll = workflow.DefaultPoll
+	}
+	if p.Watch == nil {
+		p.Watch = DefaultWatch
+	}
+	if p.SampleInterval == 0 {
+		p.SampleInterval = 60
+	}
+}
+
+// Series is the fraction of one watched path's final data present at the
+// server over time.
+type Series struct {
+	Name     string
+	Times    []float64
+	Fraction []float64
+}
+
+// Result reports one architecture run.
+type Result struct {
+	Architecture Architecture
+	// EndToEnd is the time until all run data (model outputs, data
+	// products, process files) is resident at the server.
+	EndToEnd float64
+	// SimWalltime is when the simulation itself completed.
+	SimWalltime float64
+	// RunWalltime is when the product run (sim + all products) completed.
+	RunWalltime float64
+	// BytesOverLink is the total bytes rsync moved to the server.
+	BytesOverLink float64
+	// TotalBytes is the total bytes of run data (outputs + products +
+	// process files).
+	TotalBytes float64
+	// Series are the sampled fraction-at-server curves.
+	Series []Series
+}
+
+// BandwidthSaving returns the fraction of run data NOT moved over the
+// link (0 for Architecture 1, ≈ the product share for Architecture 2).
+func (r Result) BandwidthSaving() float64 {
+	if r.TotalBytes <= 0 {
+		return 0
+	}
+	s := 1 - r.BytesOverLink/r.TotalBytes
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// Run executes the experiment for the chosen architecture.
+func Run(arch Architecture, p Params) Result {
+	p.fillDefaults()
+	if err := p.Spec.Validate(); err != nil {
+		panic(fmt.Sprintf("dataflow: %v", err))
+	}
+
+	eng := sim.NewEngine()
+	cl := cluster.New(eng)
+	client := cl.AddNode("client", p.ClientCPUs, p.ClientSpeed)
+	server := cl.AddNode("server", p.ServerCPUs, p.ServerSpeed)
+	clientFS := vfs.New(eng.Now)
+	serverFS := vfs.New(eng.Now)
+	link := netsim.NewLink(eng, "lan", p.Bandwidth)
+
+	dir := "/runs/" + p.Spec.Name + "/day1"
+	cfg := workflow.Config{
+		Spec:       p.Spec,
+		Dir:        dir,
+		SimNode:    client,
+		SimFS:      clientFS,
+		Increments: p.Increments,
+		Workers:    p.Workers,
+		Poll:       p.Poll,
+	}
+	switch arch {
+	case Architecture1:
+		cfg.ProductNode = client
+		cfg.ProductFS = clientFS
+	case Architecture2:
+		cfg.ProductNode = server
+		cfg.ProductFS = serverFS
+	default:
+		panic(fmt.Sprintf("dataflow: unknown architecture %d", arch))
+	}
+
+	run := workflow.Start(eng, cfg)
+
+	// rsync roots: Architecture 1 ships outputs, products, and the
+	// process directory; Architecture 2 ships only the model outputs.
+	roots := []string{run.OutputsDir()}
+	if arch == Architecture1 {
+		roots = append(roots, run.ProductsDir(), run.ProcessDir())
+	}
+	var lastDelivery float64
+	rs := netsim.NewRsync(eng, clientFS, serverFS, link, p.RsyncInterval, roots,
+		func(t float64, _ string, _ int64) { lastDelivery = t })
+	rs.Start()
+
+	// Sample the watched series at the server.
+	watchPaths := resolveWatch(run, p.Watch)
+	samples := make(map[string][]sample, len(watchPaths))
+	var sampler func()
+	samplerDone := false
+	sampler = func() {
+		for name, path := range watchPaths {
+			samples[name] = append(samples[name], sample{eng.Now(), serverFS.Size(path)})
+		}
+		if !samplerDone {
+			eng.After(p.SampleInterval, sampler)
+		}
+	}
+	eng.After(p.SampleInterval, sampler)
+
+	// Watchdog: once the run is finished and rsync has delivered
+	// everything, stop the periodic agents so the event queue drains. The
+	// deadline is a safety net against a wedged configuration.
+	const deadline = 90 * 86400.0
+	var watchdog func()
+	watchdog = func() {
+		if run.Finished() && rs.Synced() {
+			samplerDone = true
+			rs.Stop()
+			sampler() // final sample at the exact end
+			return
+		}
+		if eng.Now() > deadline {
+			panic(fmt.Sprintf("dataflow: %v did not complete within %v virtual seconds", arch, deadline))
+		}
+		eng.After(p.SampleInterval, watchdog)
+	}
+	eng.After(p.SampleInterval, watchdog)
+
+	eng.Run()
+
+	if !run.Finished() {
+		panic("dataflow: run did not finish (event queue drained early)")
+	}
+
+	// Total run data generated: everything at the client plus, for
+	// Architecture 2, the products and process files written directly at
+	// the server (the server's rsync'd copies are not new data).
+	totalBytes := float64(clientFS.TreeSize(dir))
+	if arch == Architecture2 {
+		totalBytes += float64(serverFS.TreeSize(run.ProductsDir()) + serverFS.TreeSize(run.ProcessDir()))
+	}
+	res := Result{
+		Architecture:  arch,
+		SimWalltime:   run.SimFinishedAt() - run.Started(),
+		RunWalltime:   run.Walltime(),
+		BytesOverLink: link.BytesMoved(),
+		TotalBytes:    totalBytes,
+	}
+	// All data at server: the later of the last rsync delivery and (for
+	// Architecture 2) the last product written directly at the server.
+	res.EndToEnd = lastDelivery
+	if arch == Architecture2 && run.FinishedAt() > res.EndToEnd {
+		res.EndToEnd = run.FinishedAt()
+	}
+
+	// Normalize series by their final sizes.
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := samples[name]
+		final := ss[len(ss)-1].size
+		s := Series{Name: name}
+		for _, pt := range ss {
+			frac := 0.0
+			if final > 0 {
+				frac = float64(pt.size) / float64(final)
+			}
+			s.Times = append(s.Times, pt.t)
+			s.Fraction = append(s.Fraction, frac)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res
+}
+
+type sample struct {
+	t    float64
+	size int64
+}
+
+// resolveWatch maps watch names to server-filesystem paths.
+func resolveWatch(run *workflow.Run, watch []string) map[string]string {
+	paths := make(map[string]string, len(watch))
+	for _, name := range watch {
+		switch {
+		case name == "process":
+			paths[name] = run.ProcessDir() + "/master.out"
+		case isOutput(run, name):
+			paths[name] = run.OutputPath(name)
+		default:
+			paths[name] = run.ProductPath(name)
+		}
+	}
+	return paths
+}
+
+func isOutput(run *workflow.Run, name string) bool {
+	_, ok := run.Spec().Output(name)
+	return ok
+}
+
+// TimeToFraction returns the first sampled time at which the series
+// reaches at least the given fraction, or NaN if it never does.
+func (s Series) TimeToFraction(frac float64) float64 {
+	for i, f := range s.Fraction {
+		if f >= frac {
+			return s.Times[i]
+		}
+	}
+	return math.NaN()
+}

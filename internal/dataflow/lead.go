@@ -1,0 +1,43 @@
+package dataflow
+
+import "math"
+
+// Lead quantifies the paper's incremental-delivery observation: "even
+// though a forecast for the current day might not finish until, say, 10am
+// in the morning, the portion of the forecast completed by 7am might
+// cover the time period up until noon." If a fraction f of a forecast
+// covering horizon H (typically two days) is at the server at wall-clock
+// time t, the available data reaches f·H into the forecast period, so the
+// user's lead over real time is f·H − t seconds. Positive lead means the
+// server already holds predictions for times that have not happened yet.
+//
+// LeadCurve converts a fraction-at-server series into a lead-time series.
+func LeadCurve(s Series, horizon float64) Series {
+	out := Series{Name: s.Name + " lead"}
+	for i := range s.Times {
+		out.Times = append(out.Times, s.Times[i])
+		out.Fraction = append(out.Fraction, s.Fraction[i]*horizon-s.Times[i])
+	}
+	return out
+}
+
+// MinLead returns the worst (smallest) lead over the series once delivery
+// has begun — the closest the factory comes to publishing stale
+// predictions. Samples before the first byte arrives are skipped: until
+// then users consult the previous day's forecast, which still covers the
+// near term. The fishing-boat captain cares about exactly this number.
+func MinLead(s Series, horizon float64) float64 {
+	min := math.Inf(1)
+	for i := range s.Times {
+		if s.Fraction[i] <= 0 {
+			continue
+		}
+		if lead := s.Fraction[i]*horizon - s.Times[i]; lead < min {
+			min = lead
+		}
+	}
+	return min
+}
+
+// DefaultForecastHorizon is the two-day forecast period in seconds.
+const DefaultForecastHorizon = 2 * 86400.0

@@ -1,0 +1,66 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLeadCurveArithmetic(t *testing.T) {
+	s := Series{
+		Name:     "1_salt.63",
+		Times:    []float64{0, 3600, 7200},
+		Fraction: []float64{0, 0.25, 0.5},
+	}
+	lead := LeadCurve(s, DefaultForecastHorizon)
+	want := []float64{0, 0.25*DefaultForecastHorizon - 3600, 0.5*DefaultForecastHorizon - 7200}
+	for i := range want {
+		if math.Abs(lead.Fraction[i]-want[i]) > 1e-9 {
+			t.Fatalf("lead = %v, want %v", lead.Fraction, want)
+		}
+	}
+	if lead.Name != "1_salt.63 lead" {
+		t.Fatalf("name = %q", lead.Name)
+	}
+}
+
+func TestMinLead(t *testing.T) {
+	s := Series{
+		Times:    []float64{0, 10000, 20000},
+		Fraction: []float64{0, 0.05, 1.0},
+	}
+	// Leads: 0, 0.05·H−10000 = −1360, 1·H−20000.
+	got := MinLead(s, DefaultForecastHorizon)
+	if math.Abs(got-(-1360)) > 1e-9 {
+		t.Fatalf("MinLead = %v, want -1360", got)
+	}
+	if !math.IsInf(MinLead(Series{}, 1), 1) {
+		t.Fatal("empty series should give +Inf")
+	}
+}
+
+func TestArchitecture2ImprovesWorstCaseLead(t *testing.T) {
+	// Architecture 2 delivers model outputs to the server sooner, so the
+	// fishing-boat captain's worst-case lead improves.
+	r1 := Run(Architecture1, Params{})
+	r2 := Run(Architecture2, Params{})
+	lead := func(r Result, name string) float64 {
+		for _, s := range r.Series {
+			if s.Name == name {
+				return MinLead(s, DefaultForecastHorizon)
+			}
+		}
+		t.Fatalf("series %s missing", name)
+		return 0
+	}
+	for _, series := range []string{"1_salt.63", "2_salt.63"} {
+		l1, l2 := lead(r1, series), lead(r2, series)
+		if l2 <= l1 {
+			t.Errorf("%s: Arch2 min lead %v not better than Arch1 %v", series, l2, l1)
+		}
+	}
+	// Both architectures keep the model-output lead positive: data for a
+	// forecast time arrives before that time passes.
+	if l := lead(r2, "1_salt.63"); l <= 0 {
+		t.Errorf("Arch2 lead went negative: %v", l)
+	}
+}

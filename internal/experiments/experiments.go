@@ -1,0 +1,162 @@
+// Package experiments regenerates every quantitative result in the
+// paper's evaluation: Figures 6–9 and the in-text measurements of §4
+// (end-to-end architecture comparison, concurrent product sets, bandwidth
+// share, the CPU-sharing validation, and run-time estimation accuracy).
+//
+// Each experiment returns a Report holding the measured series, a
+// paper-vs-measured comparison table, and renderers for ASCII charts and
+// CSV. EXPERIMENTS.md is generated from these reports.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/plot"
+)
+
+// Comparison is one paper-vs-measured row.
+type Comparison struct {
+	Metric   string
+	Paper    float64
+	Measured float64
+	Unit     string
+	Note     string
+}
+
+// RelError returns |measured−paper| / |paper| (NaN when paper is 0).
+func (c Comparison) RelError() float64 {
+	if c.Paper == 0 {
+		return math.NaN()
+	}
+	return math.Abs(c.Measured-c.Paper) / math.Abs(c.Paper)
+}
+
+// Report is one regenerated experiment.
+type Report struct {
+	ID          string // "fig6" ... "fig9", "t1" ... "t5"
+	Title       string
+	XLabel      string
+	YLabel      string
+	Series      []plot.Series
+	Comparisons []Comparison
+	Notes       []string
+}
+
+// Chart renders the report's series as an ASCII chart.
+func (r Report) Chart() string {
+	return plot.Chart{
+		Title:  fmt.Sprintf("[%s] %s", r.ID, r.Title),
+		XLabel: r.XLabel,
+		YLabel: r.YLabel,
+		Series: r.Series,
+	}.Render()
+}
+
+// CSV renders the report's series as CSV.
+func (r Report) CSV() string {
+	return plot.CSV(r.XLabel, r.Series)
+}
+
+// Table renders the paper-vs-measured comparison table.
+func (r Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-44s %14s %14s %8s\n", "metric", "paper", "measured", "rel.err")
+	for _, c := range r.Comparisons {
+		rel := "-"
+		if !math.IsNaN(c.RelError()) {
+			rel = fmt.Sprintf("%.1f%%", 100*c.RelError())
+		}
+		metric := c.Metric
+		if c.Unit != "" {
+			metric += " (" + c.Unit + ")"
+		}
+		fmt.Fprintf(&b, "%-44s %14.4g %14.4g %8s\n", metric, c.Paper, c.Measured, rel)
+		if c.Note != "" {
+			fmt.Fprintf(&b, "    %s\n", c.Note)
+		}
+	}
+	return b.String()
+}
+
+// Render produces the full textual report.
+func (r Report) Render() string {
+	var b strings.Builder
+	b.WriteString(r.Chart())
+	b.WriteString("\n")
+	b.WriteString(r.Table())
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// MarkdownSummary renders a paper-vs-measured markdown table over a set
+// of reports — the regenerable core of EXPERIMENTS.md.
+func MarkdownSummary(reports []Report) string {
+	var b strings.Builder
+	b.WriteString("# Paper vs. measured (regenerated)\n\n")
+	b.WriteString("| ID | Metric | Paper | Measured | Rel. err |\n")
+	b.WriteString("|---|---|---:|---:|---:|\n")
+	for _, r := range reports {
+		for _, c := range r.Comparisons {
+			rel := "—"
+			if !math.IsNaN(c.RelError()) {
+				rel = fmt.Sprintf("%.1f%%", 100*c.RelError())
+			}
+			metric := c.Metric
+			if c.Unit != "" {
+				metric += " (" + c.Unit + ")"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %.4g | %.4g | %s |\n", r.ID, metric, c.Paper, c.Measured, rel)
+		}
+	}
+	return b.String()
+}
+
+// All runs every experiment, in the paper's order.
+func All() []Report {
+	return []Report{
+		Fig6(),
+		Fig7(),
+		Fig8(),
+		Fig9(),
+		EndToEnd(),
+		ConcurrentProducts(),
+		BandwidthShare(),
+		PredictorValidation(),
+		EstimatorValidation(),
+	}
+}
+
+// ByID returns the named experiment report, or false.
+func ByID(id string) (Report, bool) {
+	switch id {
+	case "fig6":
+		return Fig6(), true
+	case "fig7":
+		return Fig7(), true
+	case "fig8":
+		return Fig8(), true
+	case "fig9":
+		return Fig9(), true
+	case "t1":
+		return EndToEnd(), true
+	case "t2":
+		return ConcurrentProducts(), true
+	case "t3":
+		return BandwidthShare(), true
+	case "t4":
+		return PredictorValidation(), true
+	case "t5":
+		return EstimatorValidation(), true
+	default:
+		return extensionByID(id)
+	}
+}
+
+// IDs lists the experiment identifiers in order.
+func IDs() []string {
+	return []string{"fig6", "fig7", "fig8", "fig9", "t1", "t2", "t3", "t4", "t5"}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEndToEndMatchesPaper(t *testing.T) {
+	r := EndToEnd()
+	for _, c := range r.Comparisons {
+		if c.RelError() > 0.20 {
+			t.Errorf("%s: paper %v, measured %v (%.0f%% off)", c.Metric, c.Paper, c.Measured, 100*c.RelError())
+		}
+	}
+}
+
+func TestConcurrentProductsSmallIncrease(t *testing.T) {
+	r := ConcurrentProducts()
+	c := r.Comparisons[0]
+	if c.Measured < 1000 || c.Measured > 6000 {
+		t.Errorf("4-set increase = %v s, want ≈3000", c.Measured)
+	}
+}
+
+func TestBandwidthShareNear20Percent(t *testing.T) {
+	r := BandwidthShare()
+	for _, c := range r.Comparisons {
+		if c.Measured < 0.12 || c.Measured > 0.28 {
+			t.Errorf("%s = %v, want ≈0.20", c.Metric, c.Measured)
+		}
+	}
+}
+
+func TestPredictorValidationExact(t *testing.T) {
+	r := PredictorValidation()
+	if dev := r.Comparisons[1].Measured; dev > 1e-9 {
+		t.Errorf("predictor deviates from simulator by %v", dev)
+	}
+	if k3 := r.Comparisons[0]; math.Abs(k3.Measured-k3.Paper) > 1 {
+		t.Errorf("k=3 completion %v, want %v", k3.Measured, k3.Paper)
+	}
+	// Both series should show the CPU-sharing knee: flat for k ≤ 2, then
+	// linear growth.
+	for _, s := range r.Series {
+		if math.Abs(s.Y[0]-s.Y[1]) > 1 {
+			t.Errorf("%s: k=1 (%v) and k=2 (%v) should match on 2 CPUs", s.Name, s.Y[0], s.Y[1])
+		}
+		if s.Y[5] <= s.Y[2] {
+			t.Errorf("%s: no growth beyond the CPU count", s.Name)
+		}
+	}
+}
+
+func TestEstimatorValidation(t *testing.T) {
+	r := EstimatorValidation()
+	if r2 := r.Comparisons[0].Measured; r2 < 0.999 {
+		t.Errorf("R² = %v, want ≈1 (linear in timesteps)", r2)
+	}
+	est := r.Comparisons[1]
+	if est.RelError() > 0.05 {
+		t.Errorf("estimate %v vs actual %v (%.1f%% off)", est.Measured, est.Paper, 100*est.RelError())
+	}
+}
+
+func TestFig6Fig7Reports(t *testing.T) {
+	f6, f7 := Fig6(), Fig7()
+	if len(f6.Series) != 5 || len(f7.Series) != 5 {
+		t.Fatalf("series counts %d, %d; want 5 each", len(f6.Series), len(f7.Series))
+	}
+	if f6.Comparisons[0].RelError() > 0.15 || f7.Comparisons[0].RelError() > 0.15 {
+		t.Errorf("end-to-end off: fig6 %v, fig7 %v", f6.Comparisons[0].Measured, f7.Comparisons[0].Measured)
+	}
+	if f7.Comparisons[0].Measured >= f6.Comparisons[0].Measured {
+		t.Error("Architecture 2 not faster")
+	}
+}
+
+func TestFig8Report(t *testing.T) {
+	r := Fig8()
+	if len(r.Series) != 1 || len(r.Series[0].X) != 76 {
+		t.Fatalf("series shape wrong")
+	}
+	for _, c := range r.Comparisons {
+		if c.RelError() > 0.15 {
+			t.Errorf("%s: paper %v, measured %v", c.Metric, c.Paper, c.Measured)
+		}
+	}
+}
+
+func TestFig9Report(t *testing.T) {
+	r := Fig9()
+	if len(r.Series) != 1 || len(r.Series[0].X) != 131 {
+		t.Fatalf("series shape wrong")
+	}
+	for _, c := range r.Comparisons {
+		if c.RelError() > 0.25 {
+			t.Errorf("%s: paper %v, measured %v", c.Metric, c.Paper, c.Measured)
+		}
+	}
+}
+
+func TestRenderingsNonEmpty(t *testing.T) {
+	r := PredictorValidation()
+	if !strings.Contains(r.Chart(), "predicted") {
+		t.Error("chart missing series legend")
+	}
+	if !strings.Contains(r.CSV(), "simulated") {
+		t.Error("CSV missing header")
+	}
+	if !strings.Contains(r.Table(), "paper") {
+		t.Error("table missing header")
+	}
+	if !strings.Contains(r.Render(), "note:") && len(r.Notes) > 0 {
+		t.Error("render missing notes")
+	}
+}
+
+func TestByIDAndIDs(t *testing.T) {
+	for _, id := range IDs() {
+		if id == "fig6" || id == "fig7" || id == "fig8" || id == "fig9" {
+			continue // exercised above; skip recomputation
+		}
+		r, ok := ByID(id)
+		if !ok || r.ID != id {
+			t.Errorf("ByID(%s) = %v, %v", id, r.ID, ok)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("unknown id accepted")
+	}
+	if len(IDs()) != 9 {
+		t.Errorf("IDs() = %v", IDs())
+	}
+}
+
+func TestMarkdownSummary(t *testing.T) {
+	r := PredictorValidation()
+	md := MarkdownSummary([]Report{r})
+	for _, want := range []string{"| ID | Metric |", "| t4 |", "k=3 completion"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestComparisonRelError(t *testing.T) {
+	if (Comparison{Paper: 100, Measured: 110}).RelError() != 0.1 {
+		t.Error("RelError wrong")
+	}
+	if !math.IsNaN((Comparison{Paper: 0, Measured: 1}).RelError()) {
+		t.Error("RelError with zero paper should be NaN")
+	}
+}

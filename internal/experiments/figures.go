@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/factory"
+	"repro/internal/plot"
+)
+
+// archSeries converts dataflow sample series into plot series.
+func archSeries(res dataflow.Result) []plot.Series {
+	out := make([]plot.Series, len(res.Series))
+	for i, s := range res.Series {
+		out[i] = plot.Series{Name: s.Name, X: s.Times, Y: s.Fraction}
+	}
+	return out
+}
+
+// Fig6 reproduces Figure 6: time until data appears at the server with
+// Architecture 1 (model and data products generated at the compute node).
+func Fig6() Report {
+	res := dataflow.Run(dataflow.Architecture1, dataflow.Params{})
+	return Report{
+		ID:     "fig6",
+		Title:  "Time until all data appears at server, Architecture 1",
+		XLabel: "time (s)",
+		YLabel: "fraction of data at server",
+		Series: archSeries(res),
+		Comparisons: []Comparison{
+			{Metric: "end-to-end time", Paper: 18000, Measured: res.EndToEnd, Unit: "s"},
+		},
+		Notes: []string{
+			"final model outputs and data products arrive at the server at around the same time",
+		},
+	}
+}
+
+// Fig7 reproduces Figure 7: the same series with Architecture 2 (data
+// products generated at the server).
+func Fig7() Report {
+	res := dataflow.Run(dataflow.Architecture2, dataflow.Params{})
+	return Report{
+		ID:     "fig7",
+		Title:  "Time until all data appears at server, Architecture 2",
+		XLabel: "time (s)",
+		YLabel: "fraction of data at server",
+		Series: archSeries(res),
+		Comparisons: []Comparison{
+			{Metric: "end-to-end time", Paper: 11000, Measured: res.EndToEnd, Unit: "s"},
+		},
+		Notes: []string{
+			"final data products appear slightly later than the final model outputs",
+		},
+	}
+}
+
+// Fig8 reproduces Figure 8: effects of timestep changes and the addition
+// of new runs on the Tillamook forecast (days 1–76 of 2005).
+func Fig8() Report {
+	c, err := factory.New(factory.Figure8Scenario())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig8: %v", err))
+	}
+	results := c.Run()
+	days, wt := factory.Walltimes(results, "forecast-tillamook")
+	xs := make([]float64, len(days))
+	for i, d := range days {
+		xs[i] = float64(d)
+	}
+
+	at := func(day int) float64 {
+		for i, d := range days {
+			if d == day {
+				return wt[i]
+			}
+		}
+		return 0
+	}
+	peak := 0.0
+	for i, d := range days {
+		if d >= 50 && d <= 60 && wt[i] > peak {
+			peak = wt[i]
+		}
+	}
+
+	return Report{
+		ID:     "fig8",
+		Title:  "forecast-tillamook 2005: walltime by day of year",
+		XLabel: "day of year",
+		YLabel: "total walltime (s)",
+		Series: []plot.Series{{Name: "walltime", X: xs, Y: wt}},
+		Comparisons: []Comparison{
+			{Metric: "walltime before day 21", Paper: 40000, Measured: at(10), Unit: "s"},
+			{Metric: "walltime after timestep doubling", Paper: 80000, Measured: at(30), Unit: "s"},
+			{Metric: "walltime on day 50 (new forecasts land)", Paper: 100000, Measured: at(50), Unit: "s"},
+			{Metric: "cascading hump peak (days 50-60)", Paper: 130000, Measured: peak, Unit: "s"},
+			{Metric: "walltime after recovery (day 65)", Paper: 80000, Measured: at(65), Unit: "s"},
+		},
+		Notes: []string{
+			"day 21: timesteps doubled 5760 → 11520",
+			"day 50: new forecasts placed on the Tillamook node; runs exceed 86,400 s, so successive days overlap and the delay cascades",
+			"day 56: operators move the new forecasts to other nodes; walltime decays back over a couple of days",
+		},
+	}
+}
+
+// Fig9 reproduces Figure 9: effects of code and mesh changes on the dev
+// forecast (days 140–270 of 2005).
+func Fig9() Report {
+	c, err := factory.New(factory.Figure9Scenario())
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fig9: %v", err))
+	}
+	results := c.Run()
+	days, wt := factory.Walltimes(results, "forecasts-dev")
+	xs := make([]float64, len(days))
+	for i, d := range days {
+		xs[i] = float64(d)
+	}
+	at := func(day int) float64 {
+		for i, d := range days {
+			if d == day {
+				return wt[i]
+			}
+		}
+		return 0
+	}
+
+	return Report{
+		ID:     "fig9",
+		Title:  "forecasts-dev 2005: walltime by day of year",
+		XLabel: "day of year",
+		YLabel: "total walltime (s)",
+		Series: []plot.Series{{Name: "walltime", X: xs, Y: wt}},
+		Comparisons: []Comparison{
+			{Metric: "drop at day ~150 (mesh + code change)", Paper: 5000, Measured: at(145) - at(155), Unit: "s"},
+			{Metric: "jump at day ~160 (major code version)", Paper: 26000, Measured: at(165) - at(155), Unit: "s"},
+			{Metric: "drop at day ~180 (code change)", Paper: 7000, Measured: at(175) - at(185), Unit: "s"},
+			{Metric: "day 172 contention spike height", Paper: 12000, Measured: at(172) - at(170), Unit: "s",
+				Note: "the paper reports the spikes' existence, not their height; 12000 is read off its figure"},
+			{Metric: "day 192 contention spike height", Paper: 12000, Measured: at(192) - at(190), Unit: "s",
+				Note: "as above"},
+		},
+		Notes: []string{
+			"spikes on days 172 and 192 are contention with other forecasts for CPU cycles",
+		},
+	}
+}

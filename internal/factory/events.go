@@ -1,0 +1,236 @@
+package factory
+
+import (
+	"fmt"
+
+	"repro/internal/forecast"
+)
+
+// Event is a change to the factory configuration applied at midnight of a
+// given day, before that day's launches: the dynamics §2.1 of the paper
+// describes (forecasts continually added and modified; timestep, mesh, and
+// code-version changes; node failures and reassignment).
+type Event interface {
+	// EventDay returns the day of year the event applies on.
+	EventDay() int
+	apply(c *Campaign)
+	fmt.Stringer
+}
+
+// SetTimesteps changes a forecast's timestep count (e.g. Figure 8, day 21:
+// Tillamook doubled from 5760 to 11520).
+type SetTimesteps struct {
+	Day       int
+	Forecast  string
+	Timesteps int
+}
+
+// EventDay implements Event.
+func (e SetTimesteps) EventDay() int { return e.Day }
+
+func (e SetTimesteps) apply(c *Campaign) {
+	if s := c.specs[e.Forecast]; s != nil && e.Timesteps > 0 {
+		s.Timesteps = e.Timesteps
+	}
+}
+
+func (e SetTimesteps) String() string {
+	return fmt.Sprintf("day %d: %s timesteps → %d", e.Day, e.Forecast, e.Timesteps)
+}
+
+// SetCode deploys a new simulation code version for a forecast.
+type SetCode struct {
+	Day      int
+	Forecast string
+	Code     forecast.CodeVersion
+}
+
+// EventDay implements Event.
+func (e SetCode) EventDay() int { return e.Day }
+
+func (e SetCode) apply(c *Campaign) {
+	if s := c.specs[e.Forecast]; s != nil && e.Code.CostFactor > 0 {
+		s.Code = e.Code
+	}
+}
+
+func (e SetCode) String() string {
+	return fmt.Sprintf("day %d: %s code → %s (×%.2f)", e.Day, e.Forecast, e.Code.Name, e.Code.CostFactor)
+}
+
+// SetMesh changes a forecast's mesh.
+type SetMesh struct {
+	Day      int
+	Forecast string
+	Mesh     forecast.Mesh
+}
+
+// EventDay implements Event.
+func (e SetMesh) EventDay() int { return e.Day }
+
+func (e SetMesh) apply(c *Campaign) {
+	if s := c.specs[e.Forecast]; s != nil && e.Mesh.Sides > 0 {
+		s.Mesh = e.Mesh
+	}
+}
+
+func (e SetMesh) String() string {
+	return fmt.Sprintf("day %d: %s mesh → %s (%d sides)", e.Day, e.Forecast, e.Mesh.Name, e.Mesh.Sides)
+}
+
+// AddForecast introduces a new forecast to the factory on a node.
+type AddForecast struct {
+	Day  int
+	Spec *forecast.Spec
+	Node string
+}
+
+// EventDay implements Event.
+func (e AddForecast) EventDay() int { return e.Day }
+
+func (e AddForecast) apply(c *Campaign) {
+	if e.Spec == nil || c.cluster.Node(e.Node) == nil {
+		return
+	}
+	if _, exists := c.specs[e.Spec.Name]; exists {
+		return
+	}
+	c.specs[e.Spec.Name] = e.Spec.Clone()
+	c.assign[e.Spec.Name] = e.Node
+	c.order = append(c.order, e.Spec.Name)
+}
+
+func (e AddForecast) String() string {
+	name := "?"
+	if e.Spec != nil {
+		name = e.Spec.Name
+	}
+	return fmt.Sprintf("day %d: add forecast %s on %s", e.Day, name, e.Node)
+}
+
+// RemoveForecast retires a forecast: no further daily launches. Runs
+// already executing are left to finish.
+type RemoveForecast struct {
+	Day      int
+	Forecast string
+}
+
+// EventDay implements Event.
+func (e RemoveForecast) EventDay() int { return e.Day }
+
+func (e RemoveForecast) apply(c *Campaign) {
+	delete(c.specs, e.Forecast)
+	delete(c.assign, e.Forecast)
+	for i, n := range c.order {
+		if n == e.Forecast {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+}
+
+func (e RemoveForecast) String() string {
+	return fmt.Sprintf("day %d: remove forecast %s", e.Day, e.Forecast)
+}
+
+// Reassign moves a forecast's future runs to a different node — the
+// operator response that ends the Figure 8 hump.
+type Reassign struct {
+	Day      int
+	Forecast string
+	Node     string
+}
+
+// EventDay implements Event.
+func (e Reassign) EventDay() int { return e.Day }
+
+func (e Reassign) apply(c *Campaign) {
+	if _, ok := c.specs[e.Forecast]; ok && c.cluster.Node(e.Node) != nil {
+		c.assign[e.Forecast] = e.Node
+	}
+}
+
+func (e Reassign) String() string {
+	return fmt.Sprintf("day %d: reassign %s → %s", e.Day, e.Forecast, e.Node)
+}
+
+// DelayInput postpones one day's launch of a forecast by Delta seconds —
+// the real-time observation inputs (river flows, atmospheric forcings)
+// arrived late that morning. The delay applies to that day only.
+type DelayInput struct {
+	Day      int
+	Forecast string
+	Delta    float64
+}
+
+// EventDay implements Event.
+func (e DelayInput) EventDay() int { return e.Day }
+
+func (e DelayInput) apply(c *Campaign) {
+	if e.Delta > 0 {
+		c.inputDelays[e.Forecast] += e.Delta
+	}
+}
+
+func (e DelayInput) String() string {
+	return fmt.Sprintf("day %d: %s inputs delayed %.0f s", e.Day, e.Forecast, e.Delta)
+}
+
+// AddNode brings a new compute node online at midnight — the long-range
+// capacity response as the factory grows toward 50–100 forecasts ("new
+// nodes will be added as the number of forecasts grows").
+type AddNode struct {
+	Day  int
+	Node NodeSpec
+}
+
+// EventDay implements Event.
+func (e AddNode) EventDay() int { return e.Day }
+
+func (e AddNode) apply(c *Campaign) {
+	if e.Node.Name == "" || e.Node.CPUs <= 0 || e.Node.Speed <= 0 {
+		return
+	}
+	if c.cluster.Node(e.Node.Name) != nil {
+		return
+	}
+	c.cluster.AddNode(e.Node.Name, e.Node.CPUs, e.Node.Speed)
+}
+
+func (e AddNode) String() string {
+	return fmt.Sprintf("day %d: add node %s (%d CPUs, speed %.2f)", e.Day, e.Node.Name, e.Node.CPUs, e.Node.Speed)
+}
+
+// FailNode takes a node down at midnight; runs on it freeze in place.
+type FailNode struct {
+	Day  int
+	Node string
+}
+
+// EventDay implements Event.
+func (e FailNode) EventDay() int { return e.Day }
+
+func (e FailNode) apply(c *Campaign) {
+	if n := c.cluster.Node(e.Node); n != nil {
+		n.Fail()
+	}
+}
+
+func (e FailNode) String() string { return fmt.Sprintf("day %d: node %s fails", e.Day, e.Node) }
+
+// RepairNode brings a failed node back at midnight.
+type RepairNode struct {
+	Day  int
+	Node string
+}
+
+// EventDay implements Event.
+func (e RepairNode) EventDay() int { return e.Day }
+
+func (e RepairNode) apply(c *Campaign) {
+	if n := c.cluster.Node(e.Node); n != nil {
+		n.Repair()
+	}
+}
+
+func (e RepairNode) String() string { return fmt.Sprintf("day %d: node %s repaired", e.Day, e.Node) }

@@ -1,0 +1,358 @@
+// Package factory runs multi-day production campaigns of the CORIE
+// forecast factory: every day each forecast launches on its assigned node
+// at its input-constrained start time, executes its simulation and product
+// workflows, and writes a run log into its run directory.
+//
+// The campaign reproduces the dynamics §4.3.1 of the paper observes in a
+// year of production logs: work-in-progress carry-over (a run that takes
+// longer than a day contends with the next day's run on the same node and
+// delays it further — the cascading "hump" of Figure 8), and step changes
+// in running time from timestep, mesh, and code-version changes
+// (Figures 8 and 9).
+package factory
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/forecast"
+	"repro/internal/logs"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+	"repro/internal/workflow"
+)
+
+// SecondsPerDay is one factory day.
+const SecondsPerDay = 86400.0
+
+// NodeSpec declares a compute node for a campaign.
+type NodeSpec struct {
+	Name  string
+	CPUs  int
+	Speed float64
+}
+
+// DefaultNodes returns the paper's plant: six dedicated dual-CPU forecast
+// nodes of equal speed.
+func DefaultNodes() []NodeSpec {
+	nodes := make([]NodeSpec, 6)
+	for i := range nodes {
+		nodes[i] = NodeSpec{Name: fmt.Sprintf("fnode%02d", i+1), CPUs: 2, Speed: 1.0}
+	}
+	return nodes
+}
+
+// Config describes a campaign.
+type Config struct {
+	Nodes []NodeSpec
+	// Forecasts maps each initial forecast spec to its assigned node.
+	Forecasts []Assignment
+	// Events are day-keyed changes applied at midnight before launches.
+	Events []Event
+	// Year labels run directories and logs (e.g. 2005).
+	Year int
+	// StartDay is the first day of year simulated (1-based, default 1).
+	StartDay int
+	// Days is the number of days to simulate.
+	Days int
+	// DrainDays allows runs still executing after the last day this many
+	// extra days to finish before the campaign stops (default 3).
+	DrainDays int
+
+	// Run execution parameters (defaults as in package workflow).
+	Increments int
+	Workers    int
+	Poll       float64
+
+	// OnRunLog, when set, is invoked with every run record the factory
+	// writes (both the provisional "running" record at launch and the
+	// final "completed" one) at the virtual time it is written. This
+	// models §4.3.2's alternative to periodic crawling: "inserting
+	// commands into the run scripts to update the database", which keeps
+	// statistics on currently running forecasts accurate.
+	OnRunLog func(*logs.RunRecord)
+}
+
+// Assignment binds a forecast spec to a node.
+type Assignment struct {
+	Spec *forecast.Spec
+	Node string
+}
+
+// RunResult records one day's execution of one forecast.
+type RunResult struct {
+	Forecast  string
+	Day       int // day of year
+	Node      string
+	Start     float64 // campaign time, seconds
+	End       float64 // campaign time, seconds (NaN if never finished)
+	Walltime  float64 // seconds (NaN if never finished)
+	Timesteps int
+	MeshName  string
+	MeshSides int
+	Code      forecast.CodeVersion
+	Finished  bool
+	Dropped   bool
+}
+
+// Campaign executes a Config. Create with New, then call Run.
+type Campaign struct {
+	cfg     Config
+	eng     *sim.Engine
+	cluster *cluster.Cluster
+	fs      *vfs.FS
+
+	specs  map[string]*forecast.Spec
+	assign map[string]string
+	order  []string // forecast launch order (stable)
+
+	events      map[int][]Event
+	results     []RunResult
+	active      map[string]*workflow.Run
+	inputDelays map[string]float64 // per-forecast, today only
+	prepared    bool
+}
+
+// New validates the config and builds a campaign.
+func New(cfg Config) (*Campaign, error) {
+	if len(cfg.Nodes) == 0 {
+		cfg.Nodes = DefaultNodes()
+	}
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("factory: campaign needs positive Days, got %d", cfg.Days)
+	}
+	if cfg.StartDay <= 0 {
+		cfg.StartDay = 1
+	}
+	if cfg.Year == 0 {
+		cfg.Year = 2005
+	}
+	if cfg.DrainDays <= 0 {
+		cfg.DrainDays = 3
+	}
+
+	eng := sim.NewEngine()
+	c := &Campaign{
+		cfg:         cfg,
+		eng:         eng,
+		cluster:     cluster.New(eng),
+		fs:          vfs.New(eng.Now),
+		specs:       make(map[string]*forecast.Spec),
+		assign:      make(map[string]string),
+		events:      make(map[int][]Event),
+		active:      make(map[string]*workflow.Run),
+		inputDelays: make(map[string]float64),
+	}
+	for _, ns := range cfg.Nodes {
+		c.cluster.AddNode(ns.Name, ns.CPUs, ns.Speed)
+	}
+	for _, a := range cfg.Forecasts {
+		if err := a.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("factory: %w", err)
+		}
+		if _, dup := c.specs[a.Spec.Name]; dup {
+			return nil, fmt.Errorf("factory: duplicate forecast %q", a.Spec.Name)
+		}
+		if c.cluster.Node(a.Node) == nil {
+			return nil, fmt.Errorf("factory: forecast %q assigned to unknown node %q", a.Spec.Name, a.Node)
+		}
+		c.specs[a.Spec.Name] = a.Spec.Clone()
+		c.assign[a.Spec.Name] = a.Node
+		c.order = append(c.order, a.Spec.Name)
+	}
+	for _, ev := range cfg.Events {
+		d := ev.EventDay()
+		if d < cfg.StartDay || d >= cfg.StartDay+cfg.Days {
+			return nil, fmt.Errorf("factory: event %q on day %d outside campaign days [%d, %d)",
+				ev, d, cfg.StartDay, cfg.StartDay+cfg.Days)
+		}
+		c.events[d] = append(c.events[d], ev)
+	}
+	return c, nil
+}
+
+// Engine exposes the campaign's simulation engine (read-only use).
+func (c *Campaign) Engine() *sim.Engine { return c.eng }
+
+// FS exposes the campaign's filesystem, holding run directories and logs.
+func (c *Campaign) FS() *vfs.FS { return c.fs }
+
+// Cluster exposes the campaign's cluster.
+func (c *Campaign) Cluster() *cluster.Cluster { return c.cluster }
+
+// Spec returns the current spec of a forecast (nil if absent).
+func (c *Campaign) Spec(name string) *forecast.Spec { return c.specs[name] }
+
+// AssignedNode returns the node a forecast currently runs on.
+func (c *Campaign) AssignedNode(name string) string { return c.assign[name] }
+
+// dayTime converts a day-of-year to campaign seconds.
+func (c *Campaign) dayTime(day int) float64 {
+	return float64(day-c.cfg.StartDay) * SecondsPerDay
+}
+
+// Run executes the whole campaign and returns all run results sorted by
+// (forecast, day).
+func (c *Campaign) Run() []RunResult {
+	c.Prepare()
+	return c.Finish()
+}
+
+// Prepare schedules every day's launches on the engine without running
+// it. Callers that want to observe the factory mid-campaign (the ForeMan
+// monitoring view) call Prepare, drive Engine().RunUntil to the moment of
+// interest, take a Snapshot, and then call Finish.
+func (c *Campaign) Prepare() {
+	if c.prepared {
+		return
+	}
+	c.prepared = true
+	lastDay := c.cfg.StartDay + c.cfg.Days - 1
+	for day := c.cfg.StartDay; day <= lastDay; day++ {
+		day := day
+		c.eng.At(c.dayTime(day), func() { c.startDay(day) })
+	}
+}
+
+// Finish runs the remainder of the campaign (plus drain days) and returns
+// all run results sorted by (forecast, day).
+func (c *Campaign) Finish() []RunResult {
+	c.Prepare()
+	lastDay := c.cfg.StartDay + c.cfg.Days - 1
+	// Let still-running work drain, then stop.
+	deadline := c.dayTime(lastDay+1) + float64(c.cfg.DrainDays)*SecondsPerDay
+	c.eng.RunUntil(deadline)
+
+	// Runs still active at the end are recorded as unfinished.
+	for i := range c.results {
+		r := &c.results[i]
+		if !r.Finished && !r.Dropped {
+			r.End = math.NaN()
+			r.Walltime = math.NaN()
+		}
+	}
+	sort.Slice(c.results, func(i, j int) bool {
+		if c.results[i].Forecast != c.results[j].Forecast {
+			return c.results[i].Forecast < c.results[j].Forecast
+		}
+		return c.results[i].Day < c.results[j].Day
+	})
+	return c.results
+}
+
+// startDay applies the day's events, then launches every forecast at its
+// start offset (plus any one-day input delay).
+func (c *Campaign) startDay(day int) {
+	for _, ev := range c.events[day] {
+		ev.apply(c)
+	}
+	for _, name := range c.order {
+		spec, ok := c.specs[name]
+		if !ok {
+			continue // removed by an event
+		}
+		name, spec := name, spec.Clone() // freeze this day's configuration
+		c.eng.After(spec.StartOffset+c.inputDelays[name], func() { c.launch(day, name, spec) })
+	}
+	// Input delays apply to the day they were declared for only.
+	clear(c.inputDelays)
+}
+
+// launch starts one forecast run.
+func (c *Campaign) launch(day int, name string, spec *forecast.Spec) {
+	nodeName, ok := c.assign[name]
+	if !ok {
+		return // removed between midnight and launch (possible via events)
+	}
+	node := c.cluster.Node(nodeName)
+	dir := logs.RunDir(name, c.cfg.Year, day)
+
+	idx := len(c.results)
+	c.results = append(c.results, RunResult{
+		Forecast:  name,
+		Day:       day,
+		Node:      nodeName,
+		Start:     c.eng.Now(),
+		End:       math.NaN(),
+		Walltime:  math.NaN(),
+		Timesteps: spec.Timesteps,
+		MeshName:  spec.Mesh.Name,
+		MeshSides: spec.Mesh.Sides,
+		Code:      spec.Code,
+	})
+
+	runKey := fmt.Sprintf("%s/%d", name, day)
+	cfg := workflow.Config{
+		Spec:        spec,
+		Dir:         dir,
+		SimNode:     node,
+		SimFS:       c.fs,
+		ProductNode: node,
+		ProductFS:   c.fs,
+		Increments:  c.cfg.Increments,
+		Workers:     c.cfg.Workers,
+		Poll:        c.cfg.Poll,
+		OnDone: func(r *workflow.Run) {
+			delete(c.active, runKey)
+			res := &c.results[idx]
+			res.End = c.eng.Now()
+			res.Walltime = r.Walltime()
+			res.Finished = true
+			c.writeLog(res, logs.StatusCompleted)
+		},
+	}
+	c.active[runKey] = workflow.Start(c.eng, cfg)
+	// Write a provisional "running" log, as the paper's crawler would
+	// find for an in-flight run (its statistics are incomplete).
+	c.writeLog(&c.results[idx], logs.StatusRunning)
+}
+
+// writeLog stores the run's log file.
+func (c *Campaign) writeLog(r *RunResult, status string) {
+	spec := c.specs[r.Forecast]
+	region := ""
+	products := 0
+	if spec != nil {
+		region = spec.Region
+		products = len(spec.Products)
+	}
+	rec := &logs.RunRecord{
+		Forecast:    r.Forecast,
+		Region:      region,
+		Year:        c.cfg.Year,
+		Day:         r.Day,
+		Node:        r.Node,
+		CodeVersion: r.Code.Name,
+		CodeFactor:  r.Code.CostFactor,
+		MeshName:    r.MeshName,
+		MeshSides:   r.MeshSides,
+		Timesteps:   r.Timesteps,
+		Start:       r.Start,
+		Status:      status,
+		Products:    products,
+	}
+	if status == logs.StatusCompleted {
+		rec.End = r.End
+		rec.Walltime = r.Walltime
+	}
+	if err := logs.Write(c.fs, rec); err != nil {
+		panic(fmt.Sprintf("factory: write log: %v", err))
+	}
+	if c.cfg.OnRunLog != nil {
+		c.cfg.OnRunLog(rec)
+	}
+}
+
+// Walltimes returns the per-day walltime series for one forecast, as
+// plotted in Figures 8 and 9: (day, walltime) for every finished run.
+func Walltimes(results []RunResult, name string) (days []int, walltimes []float64) {
+	for _, r := range results {
+		if r.Forecast == name && r.Finished {
+			days = append(days, r.Day)
+			walltimes = append(walltimes, r.Walltime)
+		}
+	}
+	return days, walltimes
+}

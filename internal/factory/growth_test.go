@@ -1,0 +1,91 @@
+package factory
+
+import (
+	"testing"
+)
+
+func TestGrowthScenarioStaysTimelyWithNewNodes(t *testing.T) {
+	results := runScenario(t, GrowthScenario())
+	// Every launched run finishes, and finishes within its day +
+	// reasonable slack (no saturation cascade, thanks to the node
+	// additions).
+	finished := 0
+	for _, r := range results {
+		if !r.Finished {
+			t.Fatalf("run %s/%d never finished", r.Forecast, r.Day)
+		}
+		finished++
+		if r.Walltime > SecondsPerDay {
+			t.Fatalf("run %s/%d walltime %v exceeds a day — plant saturated", r.Forecast, r.Day, r.Walltime)
+		}
+	}
+	if finished < 36*5 { // 36 forecasts exist by the end; sanity floor
+		t.Fatalf("only %d runs finished", finished)
+	}
+}
+
+func TestGrowthScenarioWithoutNewNodesSaturates(t *testing.T) {
+	// Strip the AddNode events and dump the late batches onto the old
+	// plant: the cascade the long-range plan exists to prevent.
+	cfg := GrowthScenario()
+	var events []Event
+	base := DefaultNodes()
+	for _, e := range cfg.Events {
+		switch ev := e.(type) {
+		case AddNode:
+			continue
+		case AddForecast:
+			ev.Node = base[ev.EventDay()%len(base)].Name
+			events = append(events, ev)
+		default:
+			events = append(events, e)
+		}
+	}
+	cfg.Events = events
+	results := runScenario(t, cfg)
+	overloaded := 0
+	for _, r := range results {
+		if r.Finished && r.Walltime > SecondsPerDay {
+			overloaded++
+		}
+		if !r.Finished {
+			overloaded++
+		}
+	}
+	if overloaded == 0 {
+		t.Fatal("no saturation without the new nodes; scenario too easy")
+	}
+}
+
+func TestGrowthScenarioForecastCount(t *testing.T) {
+	results := runScenario(t, GrowthScenario())
+	byDay := map[int]int{}
+	for _, r := range results {
+		byDay[r.Day]++
+	}
+	if byDay[1] != 10 {
+		t.Fatalf("day 1 launched %d forecasts, want 10", byDay[1])
+	}
+	if byDay[44] != 36 {
+		t.Fatalf("day 44 launched %d forecasts, want 36", byDay[44])
+	}
+}
+
+func TestAddNodeEvent(t *testing.T) {
+	c := smallCampaign(t, 3,
+		AddNode{Day: 2, Node: NodeSpec{Name: "fresh", CPUs: 2, Speed: 1}},
+		Reassign{Day: 2, Forecast: "f1", Node: "fresh"},
+	)
+	results := c.Run()
+	for _, r := range results {
+		if r.Forecast == "f1" && r.Day >= 2 && r.Node != "fresh" {
+			t.Fatalf("day %d ran on %s, want fresh", r.Day, r.Node)
+		}
+	}
+	// Invalid or duplicate AddNode events are ignored, not fatal.
+	c2 := smallCampaign(t, 2,
+		AddNode{Day: 2, Node: NodeSpec{Name: "", CPUs: 2, Speed: 1}},
+		AddNode{Day: 2, Node: NodeSpec{Name: "fnode01", CPUs: 2, Speed: 1}},
+	)
+	c2.Run()
+}

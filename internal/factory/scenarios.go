@@ -1,0 +1,174 @@
+package factory
+
+import (
+	"fmt"
+
+	"repro/internal/forecast"
+)
+
+// Figure8Scenario reproduces the Tillamook campaign of Figure 8 (days
+// 1–76 of 2005):
+//
+//   - a stable period at ≈40,000 s walltime;
+//   - day 21: timesteps doubled 5760 → 11520, walltime ≈80,000 s;
+//   - around day 50: several new forecasts added to the factory, some
+//     landing on Tillamook's node — the first delayed run crosses the
+//     86,400 s day boundary, so the next day's run starts before it
+//     finishes and the delay cascades (the "hump");
+//   - a few days later the operators move the new forecasts to other
+//     nodes, and the walltime decays back to its earlier level.
+func Figure8Scenario() Config {
+	tillamook := forecast.Tillamook()
+
+	// The rest of the plant: forecasts on other nodes, present so the
+	// factory is realistically loaded but not interfering with Tillamook.
+	columbia := forecast.NewSpec("forecast-columbia", "columbia", 5760, 28000, 8)
+	columbia.StartOffset = 2 * 3600
+	yaquina := forecast.NewSpec("forecast-yaquina", "yaquina", 4320, 20000, 6)
+	yaquina.StartOffset = 3 * 3600
+
+	// The newcomers of day 50: moderate forecasts initially (mis)placed on
+	// Tillamook's node.
+	newport := forecast.NewSpec("forecast-newport", "newport", 4320, 18000, 6)
+	newport.StartOffset = 3 * 3600
+	coosBay := forecast.NewSpec("forecast-coos-bay", "coos-bay", 3600, 18000, 6)
+	coosBay.StartOffset = 4 * 3600
+
+	return Config{
+		Year: 2005,
+		Days: 76,
+		Forecasts: []Assignment{
+			{Spec: tillamook, Node: "fnode01"},
+			{Spec: columbia, Node: "fnode02"},
+			{Spec: yaquina, Node: "fnode03"},
+		},
+		Events: []Event{
+			SetTimesteps{Day: 21, Forecast: tillamook.Name, Timesteps: 11520},
+			AddForecast{Day: 50, Spec: newport, Node: "fnode01"},
+			AddForecast{Day: 50, Spec: coosBay, Node: "fnode01"},
+			Reassign{Day: 56, Forecast: newport.Name, Node: "fnode04"},
+			Reassign{Day: 56, Forecast: coosBay.Name, Node: "fnode05"},
+		},
+	}
+}
+
+// GrowthScenario models the long-range planning loop of §1: the factory
+// grows by batches of new forecasts; when rough-cut utilization
+// approaches the plant's capacity the operators commission new nodes and
+// spread the load. Without the week-3 and week-5 node additions the
+// later forecasts would pile onto saturated nodes and cascade.
+func GrowthScenario() Config {
+	mk := func(i int) *forecast.Spec {
+		s := forecast.NewSpec(
+			fmt.Sprintf("forecast-g%02d", i),
+			fmt.Sprintf("region-%02d", i),
+			2880+(i%4)*720,   // 2880..5040 timesteps
+			14000+(i%5)*2000, // 14000..22000 sides
+			4,                // products
+		)
+		s.StartOffset = float64(2+i%4) * 3600
+		s.Priority = 1 + i%9
+		return s
+	}
+
+	// Week 0: ten forecasts on the original six nodes.
+	var assignments []Assignment
+	baseNodes := DefaultNodes()
+	for i := 0; i < 10; i++ {
+		assignments = append(assignments, Assignment{
+			Spec: mk(i),
+			Node: baseNodes[i%len(baseNodes)].Name,
+		})
+	}
+
+	var events []Event
+	// Week 1 and 2: six more forecasts each, onto the existing plant.
+	batch := func(day, from, to int, nodes []string) {
+		for i := from; i < to; i++ {
+			events = append(events, AddForecast{
+				Day:  day,
+				Spec: mk(i),
+				Node: nodes[i%len(nodes)],
+			})
+		}
+	}
+	baseNames := make([]string, len(baseNodes))
+	for i, n := range baseNodes {
+		baseNames[i] = n.Name
+	}
+	batch(8, 10, 16, baseNames)
+	batch(15, 16, 22, baseNames)
+	// Week 3: the plant is tight; two nodes are commissioned and the next
+	// batch lands on them.
+	events = append(events,
+		AddNode{Day: 22, Node: NodeSpec{Name: "fnode07", CPUs: 2, Speed: 1.2}},
+		AddNode{Day: 22, Node: NodeSpec{Name: "fnode08", CPUs: 2, Speed: 1.2}},
+	)
+	batch(22, 22, 28, []string{"fnode07", "fnode08"})
+	// Week 5: two more nodes, two more batches.
+	events = append(events,
+		AddNode{Day: 36, Node: NodeSpec{Name: "fnode09", CPUs: 4, Speed: 1.2}},
+		AddNode{Day: 36, Node: NodeSpec{Name: "fnode10", CPUs: 4, Speed: 1.2}},
+	)
+	batch(36, 28, 36, []string{"fnode09", "fnode10"})
+
+	return Config{
+		Year:      2006,
+		Days:      45,
+		Nodes:     baseNodes,
+		Forecasts: assignments,
+		Events:    events,
+	}
+}
+
+// Figure9Scenario reproduces the developmental-forecast campaign of
+// Figure 9 (days 140–270 of 2005): the dev forecast is continually
+// adapted, so code versions and meshes change repeatedly.
+//
+//   - around day 150: mesh + code version change, ≈5,000 s faster;
+//   - around day 160: major code version change, ≈26,000 s slower;
+//   - around day 180: code version change, ≈7,000 s faster;
+//   - days 172 and 192: one-day contention spikes from other forecasts
+//     sharing the node;
+//   - several smaller code changes later in the period.
+func Figure9Scenario() Config {
+	dev := forecast.Dev()
+
+	// A one-day contention spike: two scratch forecasts land on the dev
+	// node (a single extra serial run would fit the second CPU and barely
+	// interfere; two push the node past its CPU count).
+	spike := func(day int, name string) []Event {
+		var evs []Event
+		for _, suffix := range []string{"-1", "-2"} {
+			s := forecast.NewSpec(name+suffix, "scratch", 2880, 22000, 4)
+			s.StartOffset = dev.StartOffset
+			evs = append(evs,
+				AddForecast{Day: day, Spec: s, Node: "fnode02"},
+				RemoveForecast{Day: day + 1, Forecast: s.Name},
+			)
+		}
+		return evs
+	}
+
+	events := []Event{
+		SetMesh{Day: 150, Forecast: dev.Name, Mesh: forecast.Mesh{Name: "dev-mesh-v2", Sides: 16800}},
+		SetCode{Day: 150, Forecast: dev.Name, Code: forecast.CodeVersion{Name: "elcirc-dev-r205", CostFactor: 0.95}},
+		SetCode{Day: 160, Forecast: dev.Name, Code: forecast.CodeVersion{Name: "elcirc-dev-r300", CostFactor: 1.88}},
+		SetCode{Day: 180, Forecast: dev.Name, Code: forecast.CodeVersion{Name: "elcirc-dev-r310", CostFactor: 1.63}},
+		SetCode{Day: 205, Forecast: dev.Name, Code: forecast.CodeVersion{Name: "elcirc-dev-r315", CostFactor: 1.55}},
+		SetMesh{Day: 225, Forecast: dev.Name, Mesh: forecast.Mesh{Name: "dev-mesh-v3", Sides: 17400}},
+		SetCode{Day: 245, Forecast: dev.Name, Code: forecast.CodeVersion{Name: "elcirc-dev-r330", CostFactor: 1.60}},
+	}
+	events = append(events, spike(172, "forecast-scratch-a")...)
+	events = append(events, spike(192, "forecast-scratch-b")...)
+
+	return Config{
+		Year:     2005,
+		StartDay: 140,
+		Days:     131, // days 140–270
+		Forecasts: []Assignment{
+			{Spec: dev, Node: "fnode02"},
+		},
+		Events: events,
+	}
+}

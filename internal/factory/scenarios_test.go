@@ -1,0 +1,143 @@
+package factory
+
+import (
+	"testing"
+)
+
+func runScenario(t *testing.T, cfg Config) []RunResult {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Run()
+}
+
+func walltimeOn(t *testing.T, days []int, wt []float64, day int) float64 {
+	t.Helper()
+	for i, d := range days {
+		if d == day {
+			return wt[i]
+		}
+	}
+	t.Fatalf("no finished run on day %d", day)
+	return 0
+}
+
+func TestFigure8Shape(t *testing.T) {
+	results := runScenario(t, Figure8Scenario())
+	days, wt := Walltimes(results, "forecast-tillamook")
+	if len(days) != 76 {
+		t.Fatalf("tillamook finished %d runs, want 76", len(days))
+	}
+
+	// Stable ≈40,000 s before day 21.
+	for i, d := range days {
+		if d < 21 {
+			if wt[i] < 38000 || wt[i] > 44000 {
+				t.Fatalf("day %d walltime %v, want ≈40000", d, wt[i])
+			}
+		}
+	}
+	// Timestep doubling on day 21 roughly doubles the walltime.
+	before := walltimeOn(t, days, wt, 20)
+	after := walltimeOn(t, days, wt, 21)
+	if r := after / before; r < 1.9 || r > 2.1 {
+		t.Fatalf("day-21 ratio %v, want ≈2", r)
+	}
+	// Stable ≈80,000 s in days 25..49.
+	for _, d := range []int{25, 35, 45, 49} {
+		if v := walltimeOn(t, days, wt, d); v < 76000 || v > 88000 {
+			t.Fatalf("day %d walltime %v, want ≈80000", d, v)
+		}
+	}
+	// The hump: day 50 jumps to ≈100,000 s, the cascade pushes later days
+	// higher (peak above 110,000 s), and recovery follows the
+	// reassignment.
+	d50 := walltimeOn(t, days, wt, 50)
+	if d50 < 90000 || d50 > 110000 {
+		t.Fatalf("day 50 walltime %v, want ≈100000", d50)
+	}
+	peak := 0.0
+	for i, d := range days {
+		if d >= 50 && d <= 60 && wt[i] > peak {
+			peak = wt[i]
+		}
+	}
+	if peak <= d50 {
+		t.Fatalf("no cascade: peak %v not above day-50 %v", peak, d50)
+	}
+	if peak < 110000 || peak > 140000 {
+		t.Fatalf("hump peak %v, want ≈120000-130000", peak)
+	}
+	// Day boundary exceeded during the hump — the cascade's cause.
+	if d50 <= SecondsPerDay {
+		t.Fatalf("day-50 walltime %v does not exceed one day (%v)", d50, SecondsPerDay)
+	}
+	// Recovery: back to ≈80,000 s by day 60 and stable through day 76.
+	for _, d := range []int{60, 65, 70, 76} {
+		if v := walltimeOn(t, days, wt, d); v < 76000 || v > 88000 {
+			t.Fatalf("day %d walltime %v, want recovered ≈80000", d, v)
+		}
+	}
+}
+
+func TestFigure8OtherForecastsUndisturbed(t *testing.T) {
+	// The hump is local to Tillamook's node; forecasts elsewhere stay flat.
+	results := runScenario(t, Figure8Scenario())
+	days, wt := Walltimes(results, "forecast-columbia")
+	base := wt[0]
+	for i := range days {
+		if wt[i] > 1.05*base || wt[i] < 0.95*base {
+			t.Fatalf("columbia day %d walltime %v departs from %v", days[i], wt[i], base)
+		}
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	results := runScenario(t, Figure9Scenario())
+	days, wt := Walltimes(results, "forecasts-dev")
+	if len(days) != 131 {
+		t.Fatalf("dev finished %d runs, want 131", len(days))
+	}
+
+	base := walltimeOn(t, days, wt, 145)
+	if base < 30000 || base > 35000 {
+		t.Fatalf("baseline walltime %v, want ≈32000", base)
+	}
+	// Day ≈150: mesh + code change, ≈5,000 s faster.
+	after150 := walltimeOn(t, days, wt, 155)
+	if d := base - after150; d < 3500 || d > 7000 {
+		t.Fatalf("day-150 drop = %v, want ≈5000", d)
+	}
+	// Day ≈160: major code version, ≈26,000 s slower.
+	after160 := walltimeOn(t, days, wt, 165)
+	if d := after160 - after150; d < 22000 || d > 30000 {
+		t.Fatalf("day-160 jump = %v, want ≈26000", d)
+	}
+	// Day ≈180: code change, ≈7,000 s faster.
+	after180 := walltimeOn(t, days, wt, 185)
+	if d := after160 - after180; d < 5000 || d > 9000 {
+		t.Fatalf("day-180 drop = %v, want ≈7000", d)
+	}
+	// One-day contention spikes on days 172 and 192.
+	for _, spikeDay := range []int{172, 192} {
+		spike := walltimeOn(t, days, wt, spikeDay)
+		neighbor := walltimeOn(t, days, wt, spikeDay+2)
+		if spike-neighbor < 5000 {
+			t.Fatalf("day-%d spike = %v vs neighbor %v, want clear spike", spikeDay, spike, neighbor)
+		}
+		prev := walltimeOn(t, days, wt, spikeDay-2)
+		if spike-prev < 5000 {
+			t.Fatalf("day-%d spike = %v vs previous %v, want clear spike", spikeDay, spike, prev)
+		}
+	}
+}
+
+func TestScenariosAreValidConfigs(t *testing.T) {
+	for _, cfg := range []Config{Figure8Scenario(), Figure9Scenario()} {
+		if _, err := New(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package factory
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSnapshotMidDayShowsActiveRuns(t *testing.T) {
+	c := smallCampaign(t, 3)
+	c.Prepare()
+	// Runs launch at +3600 and take ≈2,800 s (with co-location slowdown);
+	// at +4,000 both are executing.
+	c.Engine().RunUntil(4000)
+	s := c.Snapshot()
+	if s.Now != 4000 {
+		t.Fatalf("Now = %v", s.Now)
+	}
+	if len(s.Active) != 2 {
+		t.Fatalf("active = %+v, want 2 runs", s.Active)
+	}
+	for _, a := range s.Active {
+		if a.Day != 1 || a.Started != 3600 {
+			t.Fatalf("active run %+v", a)
+		}
+		if a.SimProgress <= 0 || a.SimProgress >= 1 {
+			t.Fatalf("SimProgress = %v, want mid-run", a.SimProgress)
+		}
+	}
+	if len(s.Completed) != 0 {
+		t.Fatalf("completed = %v", s.Completed)
+	}
+	// Tomorrow's launches are visible.
+	if len(s.Scheduled) != 2 {
+		t.Fatalf("scheduled = %+v", s.Scheduled)
+	}
+	for _, sc := range s.Scheduled {
+		if sc.Day != 2 || sc.Start != SecondsPerDay+3600 {
+			t.Fatalf("scheduled %+v", sc)
+		}
+	}
+	// The campaign still finishes normally afterwards.
+	results := c.Finish()
+	if len(results) != 6 {
+		t.Fatalf("results = %d", len(results))
+	}
+}
+
+func TestSnapshotAfterCompletionListsCompleted(t *testing.T) {
+	c := smallCampaign(t, 2)
+	c.Prepare()
+	c.Engine().RunUntil(SecondsPerDay - 100) // day 1 done, day 2 not launched
+	s := c.Snapshot()
+	if len(s.Active) != 0 {
+		t.Fatalf("active = %+v", s.Active)
+	}
+	if len(s.Completed) != 2 {
+		t.Fatalf("completed = %+v", s.Completed)
+	}
+	c.Finish()
+}
+
+func TestSnapshotGanttRenders(t *testing.T) {
+	c := smallCampaign(t, 2)
+	c.Prepare()
+	c.Engine().RunUntil(4500)
+	out := c.Snapshot().Gantt(60)
+	for _, want := range []string{"factory monitor", "fnode01", "fnode02", "f1", "f2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	c.Finish()
+}
+
+func TestRunIsPrepareThenFinish(t *testing.T) {
+	a := smallCampaign(t, 2)
+	b := smallCampaign(t, 2)
+	ra := a.Run()
+	b.Prepare()
+	b.Prepare() // idempotent
+	rb := b.Finish()
+	if len(ra) != len(rb) {
+		t.Fatalf("result counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i].Forecast != rb[i].Forecast || ra[i].Walltime != rb[i].Walltime {
+			t.Fatalf("results differ at %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestSplitRunKey(t *testing.T) {
+	name, day := splitRunKey("forecast-tillamook/21")
+	if name != "forecast-tillamook" || day != 21 {
+		t.Fatalf("got %q, %d", name, day)
+	}
+	name, day = splitRunKey("weird")
+	if name != "weird" || day != 0 {
+		t.Fatalf("got %q, %d", name, day)
+	}
+}
+
+func TestCampaignDeterminism(t *testing.T) {
+	// Two identical campaigns produce bit-identical results — the
+	// reproducibility DESIGN.md promises.
+	r1 := runScenario(t, Figure9Scenario())
+	r2 := runScenario(t, Figure9Scenario())
+	if len(r1) != len(r2) {
+		t.Fatalf("lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		a, b := r1[i], r2[i]
+		if a.Forecast != b.Forecast || a.Day != b.Day || a.Walltime != b.Walltime ||
+			a.Start != b.Start || a.Node != b.Node {
+			t.Fatalf("results differ at %d: %+v vs %+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package forecast
+
+import "fmt"
+
+// StandardOutputs returns the conventional two-day output-file set for a
+// forecast: per-day files for salinity, temperature, velocity, and
+// elevation, named in the CORIE style ("1_salt.63", "2_salt.63", ...).
+// Velocity fields are the largest; elevation the smallest.
+func StandardOutputs(days int) []OutputFile {
+	if days <= 0 {
+		days = 2
+	}
+	type varShare struct {
+		v     Variable
+		share float64
+	}
+	vars := []varShare{
+		{VarSalinity, 0.25},
+		{VarTemperature, 0.25},
+		{VarVelocity, 0.40},
+		{VarElevation, 0.10},
+	}
+	var out []OutputFile
+	for day := 1; day <= days; day++ {
+		for _, vs := range vars {
+			ext := ".63"
+			if vs.v == VarVelocity {
+				ext = ".64" // vector fields use the .64 format in CORIE
+			}
+			out = append(out, OutputFile{
+				Name:     fmt.Sprintf("%d_%s%s", day, vs.v, ext),
+				Variable: vs.v,
+				Day:      day,
+				Share:    vs.share / float64(days),
+			})
+		}
+	}
+	return out
+}
+
+// StandardProducts returns a representative product set drawn from the
+// Figure 2 catalog for a forecast with the given outputs: surface and
+// bottom isolines for salinity and temperature, transects, cross-sections,
+// plume and estuary plots, and an animation that depends on the isoline
+// frames. n controls how many products are generated (minimum 1); products
+// are emitted in a fixed order so workloads are reproducible.
+func StandardProducts(outputs []OutputFile, n int) []ProductSpec {
+	saltInputs := inputsFor(outputs, VarSalinity)
+	tempInputs := inputsFor(outputs, VarTemperature)
+	velInputs := inputsFor(outputs, VarVelocity)
+	elevInputs := inputsFor(outputs, VarElevation)
+
+	all := []ProductSpec{
+		{Name: "isosal_near_surface", Class: ClassIsolines, Inputs: saltInputs, Scale: 1.0},
+		{Name: "isosal_far_surface", Class: ClassIsolines, Inputs: saltInputs, Scale: 1.2},
+		{Name: "isosal_bottom", Class: ClassIsolines, Inputs: saltInputs, Scale: 0.9},
+		{Name: "isotemp_surface", Class: ClassIsolines, Inputs: tempInputs, Scale: 1.0},
+		{Name: "transect_channel", Class: ClassTransects, Inputs: saltInputs, Scale: 1.0},
+		{Name: "transect_estuary", Class: ClassTransects, Inputs: tempInputs, Scale: 1.0},
+		{Name: "xsection_mouth", Class: ClassCrossSections, Inputs: velInputs, Scale: 1.0},
+		{Name: "xsection_upstream", Class: ClassCrossSections, Inputs: velInputs, Scale: 0.8},
+		{Name: "plume_extent", Class: ClassPlume, Inputs: saltInputs, Scale: 1.0},
+		{Name: "estuary_elev_plot", Class: ClassEstuaryPlots, Inputs: elevInputs, Scale: 1.0},
+		{Name: "anim_salinity", Class: ClassAnimations, Inputs: saltInputs, Scale: 1.0,
+			DependsOn: []string{"isosal_near_surface", "isosal_far_surface"}},
+		{Name: "anim_velocity", Class: ClassAnimations, Inputs: velInputs, Scale: 0.8,
+			DependsOn: []string{"xsection_mouth"}},
+	}
+	if n <= 0 || n > len(all) {
+		n = len(all)
+	}
+	picked := all[:n]
+	// Drop dependencies on products outside the picked prefix.
+	names := make(map[string]bool, n)
+	for _, p := range picked {
+		names[p.Name] = true
+	}
+	out := make([]ProductSpec, n)
+	for i, p := range picked {
+		out[i] = p
+		var deps []string
+		for _, d := range p.DependsOn {
+			if names[d] {
+				deps = append(deps, d)
+			}
+		}
+		out[i].DependsOn = deps
+	}
+	return out
+}
+
+func inputsFor(outputs []OutputFile, v Variable) []string {
+	var in []string
+	for _, o := range outputs {
+		if o.Variable == v {
+			in = append(in, o.Name)
+		}
+	}
+	return in
+}
+
+// NewSpec builds a validated forecast spec with the standard output and
+// product catalog. It panics on invalid parameters: specs are constructed
+// from trusted configuration in this library.
+func NewSpec(name, region string, timesteps, meshSides, nProducts int) *Spec {
+	outputs := StandardOutputs(2)
+	s := &Spec{
+		Name:      name,
+		Region:    region,
+		Timesteps: timesteps,
+		Mesh:      Mesh{Name: region + "-mesh-v1", Sides: meshSides},
+		Code:      CodeVersion{Name: "elcirc-5.01", CostFactor: 1.0},
+		Outputs:   outputs,
+		Products:  StandardProducts(outputs, nProducts),
+		Deadline:  86400,
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("forecast: NewSpec(%s): %v", name, err))
+	}
+	return s
+}
+
+// ReplicateProducts returns a clone of the spec whose product catalog is
+// repeated n times (suffixes "#1".."#n"), with dependency edges remapped
+// within each replica. The §4.2 scalability experiment uses this to run
+// four sets of data products concurrently at the server.
+func ReplicateProducts(s *Spec, n int) *Spec {
+	if n <= 1 {
+		return s.Clone()
+	}
+	c := s.Clone()
+	var products []ProductSpec
+	for rep := 1; rep <= n; rep++ {
+		for _, p := range s.Products {
+			q := p
+			q.Name = fmt.Sprintf("%s#%d", p.Name, rep)
+			q.Inputs = append([]string(nil), p.Inputs...)
+			q.DependsOn = make([]string, len(p.DependsOn))
+			for i, d := range p.DependsOn {
+				q.DependsOn[i] = fmt.Sprintf("%s#%d", d, rep)
+			}
+			products = append(products, q)
+		}
+	}
+	c.Products = products
+	if err := c.Validate(); err != nil {
+		panic(fmt.Sprintf("forecast: ReplicateProducts: %v", err))
+	}
+	return c
+}
+
+// Tillamook returns the Tillamook forecast used in Figure 8: 5760
+// timesteps (two days at 30 s) on a 24,000-side mesh. Its isolated
+// simulation work is 32,000 reference CPU-seconds; with data products
+// generated at the same node (the factory's current architecture) the
+// co-location slowdown brings the daily walltime to the ≈40,000 s the
+// paper plots.
+func Tillamook() *Spec {
+	s := NewSpec("forecast-tillamook", "tillamook", 5760, 24000, 8)
+	s.StartOffset = 3 * 3600 // atmospheric forcings available at 3am
+	s.Priority = 5
+	return s
+}
+
+// Dev returns the developmental forecast of Figure 9, which is continually
+// adapted: new code versions and meshes are common.
+func Dev() *Spec {
+	s := NewSpec("forecasts-dev", "columbia-dev", 5760, 19200, 6)
+	s.Code = CodeVersion{Name: "elcirc-dev-r100", CostFactor: 1.0}
+	s.StartOffset = 4 * 3600
+	s.Priority = 2
+	return s
+}
+
+// DataflowForecast returns the forecast used in the §4.2 architecture
+// experiment (Figs 6/7): an ELCIRC run whose isolated simulation time is
+// ≈10,500 s on the client node, with the full product catalog so that
+// products are ≈20% of run data volume.
+func DataflowForecast() *Spec {
+	s := NewSpec("forecast-dataflow", "columbia", 2880, 16000, 12)
+	s.Priority = 5
+	return s
+}

@@ -1,0 +1,202 @@
+// Package logs implements the forecast factory's per-run-directory log
+// files: writing them as runs complete, parsing them back, and crawling a
+// directory tree of past runs to harvest statistics — the pipeline §4.3.2
+// of the paper uses to populate its statistics database.
+//
+// Each forecast runs in its own directory holding executables, inputs,
+// outputs, and log files; that flat structure makes longitudinal questions
+// ("find all forecasts that use code version X") hard to answer directly,
+// which is exactly why the statistics database exists.
+package logs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// Run status values recorded in logs.
+const (
+	StatusCompleted = "completed"
+	StatusRunning   = "running"
+	StatusDropped   = "dropped"
+)
+
+// RunRecord is one run execution: one tuple per (forecast, day), matching
+// the paper's observation that the statistics database stays small because
+// it records runs, not the thousands of per-task executions inside them.
+type RunRecord struct {
+	Forecast    string
+	Region      string
+	Year        int
+	Day         int // day of year, 1-based
+	Node        string
+	CodeVersion string
+	CodeFactor  float64
+	MeshName    string
+	MeshSides   int
+	Timesteps   int
+	Start       float64 // seconds since campaign epoch
+	End         float64 // seconds since campaign epoch (0 if running)
+	Walltime    float64 // seconds (0 if running)
+	Status      string
+	Products    int
+}
+
+// Validate checks the record for the fields every consumer relies on.
+func (r *RunRecord) Validate() error {
+	if r.Forecast == "" {
+		return fmt.Errorf("logs: record has empty forecast name")
+	}
+	if r.Day <= 0 || r.Day > 366 {
+		return fmt.Errorf("logs: record %s has invalid day %d", r.Forecast, r.Day)
+	}
+	switch r.Status {
+	case StatusCompleted, StatusRunning, StatusDropped:
+	default:
+		return fmt.Errorf("logs: record %s/%d has unknown status %q", r.Forecast, r.Day, r.Status)
+	}
+	if r.Status == StatusCompleted && r.Walltime <= 0 {
+		return fmt.Errorf("logs: completed record %s/%d has walltime %v", r.Forecast, r.Day, r.Walltime)
+	}
+	return nil
+}
+
+// RunDir returns the conventional run directory for a forecast execution:
+// /runs/<forecast>/<year>-<day> with the day zero-padded to three digits.
+func RunDir(forecast string, year, day int) string {
+	return fmt.Sprintf("/runs/%s/%d-%03d", forecast, year, day)
+}
+
+// LogPath returns the run log path inside a run directory.
+func LogPath(dir string) string { return dir + "/run.log" }
+
+// Format renders a record as the textual run log.
+func Format(r *RunRecord) string {
+	var b strings.Builder
+	b.WriteString("# CORIE forecast run log\n")
+	fmt.Fprintf(&b, "forecast: %s\n", r.Forecast)
+	fmt.Fprintf(&b, "region: %s\n", r.Region)
+	fmt.Fprintf(&b, "year: %d\n", r.Year)
+	fmt.Fprintf(&b, "day: %d\n", r.Day)
+	fmt.Fprintf(&b, "node: %s\n", r.Node)
+	fmt.Fprintf(&b, "code_version: %s\n", r.CodeVersion)
+	fmt.Fprintf(&b, "code_factor: %.4f\n", r.CodeFactor)
+	fmt.Fprintf(&b, "mesh: %s\n", r.MeshName)
+	fmt.Fprintf(&b, "mesh_sides: %d\n", r.MeshSides)
+	fmt.Fprintf(&b, "timesteps: %d\n", r.Timesteps)
+	fmt.Fprintf(&b, "start: %.2f\n", r.Start)
+	fmt.Fprintf(&b, "end: %.2f\n", r.End)
+	fmt.Fprintf(&b, "walltime: %.2f\n", r.Walltime)
+	fmt.Fprintf(&b, "status: %s\n", r.Status)
+	fmt.Fprintf(&b, "products: %d\n", r.Products)
+	return b.String()
+}
+
+// Write stores the record's log file in its run directory.
+func Write(fs *vfs.FS, r *RunRecord) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	return fs.WriteString(LogPath(RunDir(r.Forecast, r.Year, r.Day)), Format(r))
+}
+
+// Parse reads a run log back into a record. Unknown keys are ignored so
+// log formats can grow; malformed values for known keys are errors.
+func Parse(text string) (*RunRecord, error) {
+	r := &RunRecord{}
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("logs: line %d: no key separator in %q", lineNo+1, line)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		var err error
+		switch key {
+		case "forecast":
+			r.Forecast = value
+		case "region":
+			r.Region = value
+		case "year":
+			r.Year, err = strconv.Atoi(value)
+		case "day":
+			r.Day, err = strconv.Atoi(value)
+		case "node":
+			r.Node = value
+		case "code_version":
+			r.CodeVersion = value
+		case "code_factor":
+			r.CodeFactor, err = strconv.ParseFloat(value, 64)
+		case "mesh":
+			r.MeshName = value
+		case "mesh_sides":
+			r.MeshSides, err = strconv.Atoi(value)
+		case "timesteps":
+			r.Timesteps, err = strconv.Atoi(value)
+		case "start":
+			r.Start, err = strconv.ParseFloat(value, 64)
+		case "end":
+			r.End, err = strconv.ParseFloat(value, 64)
+		case "walltime":
+			r.Walltime, err = strconv.ParseFloat(value, 64)
+		case "status":
+			r.Status = value
+		case "products":
+			r.Products, err = strconv.Atoi(value)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("logs: line %d: bad %s value %q: %v", lineNo+1, key, value, err)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Crawl walks all run directories under root (conventionally "/runs"),
+// parses every run.log, and returns the records sorted by forecast then
+// day. Directories without a run.log are skipped; parse errors abort the
+// crawl so corrupt logs are noticed rather than silently dropped.
+func Crawl(fs *vfs.FS, root string) ([]*RunRecord, error) {
+	if !fs.Exists(root) {
+		return nil, nil
+	}
+	var records []*RunRecord
+	err := fs.Walk(root, func(info vfs.FileInfo) error {
+		if info.IsDir || info.Name != "run.log" {
+			return nil
+		}
+		text, err := fs.ReadFile(info.Path)
+		if err != nil {
+			return err
+		}
+		rec, err := Parse(text)
+		if err != nil {
+			return fmt.Errorf("%s: %w", info.Path, err)
+		}
+		records = append(records, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].Forecast != records[j].Forecast {
+			return records[i].Forecast < records[j].Forecast
+		}
+		if records[i].Year != records[j].Year {
+			return records[i].Year < records[j].Year
+		}
+		return records[i].Day < records[j].Day
+	})
+	return records, nil
+}

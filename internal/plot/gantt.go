@@ -1,0 +1,150 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// GanttBar is one run's placement for the Gantt view: a node row, a start
+// time, and a predicted end time.
+type GanttBar struct {
+	Node  string
+	Run   string
+	Start float64
+	End   float64
+}
+
+// Gantt renders the factory's day as text, in the spirit of the ForeMan
+// monitoring display (Figure 3): one row per node, bars showing when each
+// run executes, and a "now" marker. Bars on the same node stack onto
+// sub-rows when they overlap (the multi-coloured rectangles of the paper's
+// figure).
+type Gantt struct {
+	Title string
+	Bars  []GanttBar
+	Now   float64 // current time marker (0 = omit)
+	Width int     // columns for the time axis (default 72)
+	// Horizon is the time range rendered (default: max bar end).
+	Horizon float64
+}
+
+// Render draws the chart.
+func (g Gantt) Render() string {
+	width := g.Width
+	if width <= 0 {
+		width = 72
+	}
+	horizon := g.Horizon
+	for _, b := range g.Bars {
+		if b.End > horizon {
+			horizon = b.End
+		}
+	}
+	if horizon <= 0 {
+		horizon = 1
+	}
+	col := func(t float64) int {
+		c := int(math.Round(t / horizon * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	byNode := make(map[string][]GanttBar)
+	var nodes []string
+	for _, b := range g.Bars {
+		if _, ok := byNode[b.Node]; !ok {
+			nodes = append(nodes, b.Node)
+		}
+		byNode[b.Node] = append(byNode[b.Node], b)
+	}
+	sort.Strings(nodes)
+
+	var out strings.Builder
+	if g.Title != "" {
+		fmt.Fprintf(&out, "%s\n", g.Title)
+	}
+	legendNo := 0
+	legend := make(map[string]byte)
+	symbolFor := func(run string) byte {
+		if s, ok := legend[run]; ok {
+			return s
+		}
+		s := byte('A' + legendNo%26)
+		legendNo++
+		legend[run] = s
+		return s
+	}
+
+	for _, node := range nodes {
+		bars := byNode[node]
+		sort.Slice(bars, func(i, j int) bool {
+			if bars[i].Start != bars[j].Start {
+				return bars[i].Start < bars[j].Start
+			}
+			return bars[i].Run < bars[j].Run
+		})
+		// Pack bars into sub-rows: a bar joins the first sub-row whose
+		// last bar ends before it starts.
+		var rows [][]GanttBar
+		for _, b := range bars {
+			placed := false
+			for i := range rows {
+				last := rows[i][len(rows[i])-1]
+				if col(last.End) < col(b.Start) {
+					rows[i] = append(rows[i], b)
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				rows = append(rows, []GanttBar{b})
+			}
+		}
+		for ri, row := range rows {
+			line := []byte(strings.Repeat(".", width))
+			for _, b := range row {
+				s, e := col(b.Start), col(b.End)
+				sym := symbolFor(b.Run)
+				for c := s; c <= e; c++ {
+					line[c] = sym
+				}
+			}
+			if g.Now > 0 {
+				c := col(g.Now)
+				if line[c] == '.' {
+					line[c] = '|'
+				}
+			}
+			label := node
+			if ri > 0 {
+				label = ""
+			}
+			fmt.Fprintf(&out, "%-10s |%s|\n", label, string(line))
+		}
+	}
+	fmt.Fprintf(&out, "%-10s  %-*s%*s\n", "", width/2, "0", width-width/2, fmtDuration(horizon))
+	// Legend in run-name order.
+	var runs []string
+	for run := range legend {
+		runs = append(runs, run)
+	}
+	sort.Strings(runs)
+	for _, run := range runs {
+		fmt.Fprintf(&out, "%-10s  %c %s\n", "", legend[run], run)
+	}
+	return out.String()
+}
+
+func fmtDuration(seconds float64) string {
+	if seconds >= 3600 {
+		return fmt.Sprintf("%.1fh", seconds/3600)
+	}
+	return fmt.Sprintf("%.0fs", seconds)
+}

@@ -1,0 +1,329 @@
+// Package ps implements a fair-share ("processor sharing") resource on top
+// of the discrete-event engine.
+//
+// A Resource has a total capacity C (work units per second) and a per-task
+// cap M. When k tasks are active, each progresses at rate min(M, C/k).
+// This single abstraction models both the paper's CPU-sharing assumption
+// (§4.1: k serial forecast runs on a node with c CPUs of speed s each
+// receive s·min(1, c/k) of a CPU) and a shared network link (capacity =
+// bandwidth, cap = bandwidth).
+//
+// Whenever the set of active tasks changes, the resource settles every
+// task's remaining work exactly (no numerical drift beyond float64
+// arithmetic) and re-times its completion event.
+package ps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Resource is a fair-share resource. Create one with NewResource.
+type Resource struct {
+	eng      *sim.Engine
+	name     string
+	capacity float64
+	taskCap  float64
+	tasks    map[*Task]struct{}
+	frozen   bool  // when true (resource down), tasks make no progress
+	taskSeq  int64 // monotonically identifies tasks for deterministic ordering
+
+	// busyIntegral accumulates ∫ rate_total dt for utilization accounting.
+	busyIntegral float64
+	lastAccount  float64
+}
+
+// NewResource creates a fair-share resource. capacity is the aggregate rate
+// (work units per second) and taskCap is the maximum rate a single task may
+// consume. Both must be positive.
+func NewResource(eng *sim.Engine, name string, capacity, taskCap float64) *Resource {
+	if capacity <= 0 || taskCap <= 0 {
+		panic(fmt.Sprintf("ps: resource %q needs positive capacity (%v) and task cap (%v)", name, capacity, taskCap))
+	}
+	return &Resource{
+		eng:      eng,
+		name:     name,
+		capacity: capacity,
+		taskCap:  taskCap,
+		tasks:    make(map[*Task]struct{}),
+	}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the aggregate capacity in work units per second.
+func (r *Resource) Capacity() float64 { return r.capacity }
+
+// TaskCap returns the per-task rate cap.
+func (r *Resource) TaskCap() float64 { return r.taskCap }
+
+// Active returns the number of tasks currently sharing the resource.
+func (r *Resource) Active() int { return len(r.tasks) }
+
+// Frozen reports whether the resource is frozen (e.g. node down).
+func (r *Resource) Frozen() bool { return r.frozen }
+
+// rate returns the uniform per-task rate for k active tasks with the
+// default cap (used for utilization accounting fast paths).
+func (r *Resource) rate(k int) float64 {
+	if k == 0 || r.frozen {
+		return 0
+	}
+	return math.Min(r.taskCap, r.capacity/float64(k))
+}
+
+// waterFill computes the max-min fair allocation of the resource's
+// capacity among tasks with per-task caps ("mega-jobs" spanning multiple
+// CPUs get a larger cap — the extension footnote 1 of the paper
+// anticipates). Tasks are filled lowest-cap first: each takes
+// min(cap, remaining/left); leftovers flow to tasks that can use them.
+func (r *Resource) waterFill(tasks []*Task) {
+	if r.frozen {
+		for _, t := range tasks {
+			t.rate = 0
+		}
+		return
+	}
+	sorted := append([]*Task(nil), tasks...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].cap != sorted[j].cap {
+			return sorted[i].cap < sorted[j].cap
+		}
+		return sorted[i].seq < sorted[j].seq
+	})
+	remaining := r.capacity
+	for i, t := range sorted {
+		share := remaining / float64(len(sorted)-i)
+		t.rate = math.Min(t.cap, share)
+		remaining -= t.rate
+	}
+}
+
+// Task is one unit of work executing on a Resource.
+type Task struct {
+	res       *Resource
+	seq       int64 // submission order, for deterministic scheduling
+	remaining float64
+	rate      float64
+	cap       float64 // per-task rate cap (default: the resource's)
+	settled   float64 // virtual time remaining was last brought up to date
+	timer     *sim.Timer
+	done      func()
+	label     string
+	started   float64
+	finished  bool
+	cancelled bool
+}
+
+// Submit adds a task with the given amount of work (in work units). done is
+// invoked (may be nil) when the work completes. The label is diagnostic.
+func (r *Resource) Submit(label string, work float64, done func()) *Task {
+	return r.SubmitCapped(label, work, r.taskCap, done)
+}
+
+// SubmitCapped adds a task with its own rate cap, overriding the
+// resource's default. A cap above the default models a parallel job that
+// can consume several CPUs at once; the cap is clamped to the resource's
+// total capacity.
+func (r *Resource) SubmitCapped(label string, work, cap float64, done func()) *Task {
+	if work < 0 || math.IsNaN(work) {
+		panic(fmt.Sprintf("ps: task %q submitted with invalid work %v", label, work))
+	}
+	if cap <= 0 || math.IsNaN(cap) {
+		panic(fmt.Sprintf("ps: task %q submitted with invalid cap %v", label, cap))
+	}
+	if cap > r.capacity {
+		cap = r.capacity
+	}
+	r.taskSeq++
+	t := &Task{
+		res:       r,
+		seq:       r.taskSeq,
+		remaining: work,
+		cap:       cap,
+		settled:   r.eng.Now(),
+		done:      done,
+		label:     label,
+		started:   r.eng.Now(),
+	}
+	r.settleAll()
+	r.tasks[t] = struct{}{}
+	r.retimeAll()
+	return t
+}
+
+// Label returns the task's diagnostic label.
+func (t *Task) Label() string { return t.label }
+
+// Cap returns the task's rate cap.
+func (t *Task) Cap() float64 { return t.cap }
+
+// Rate returns the task's current progress rate.
+func (t *Task) Rate() float64 { return t.rate }
+
+// Started returns the virtual time the task was submitted.
+func (t *Task) Started() float64 { return t.started }
+
+// Finished reports whether the task has completed.
+func (t *Task) Finished() bool { return t.finished }
+
+// Cancelled reports whether the task was cancelled before completion.
+func (t *Task) Cancelled() bool { return t.cancelled }
+
+// Remaining returns the work left, settling progress up to the current time.
+func (t *Task) Remaining() float64 {
+	if t.finished || t.cancelled {
+		return 0
+	}
+	now := t.res.eng.Now()
+	return t.remaining - t.rate*(now-t.settled)
+}
+
+// AddWork increases the task's remaining work by extra units. This supports
+// incremental workloads (a product task given a new data increment).
+func (t *Task) AddWork(extra float64) {
+	if extra < 0 {
+		panic(fmt.Sprintf("ps: AddWork(%v) on task %q", extra, t.label))
+	}
+	if t.finished || t.cancelled {
+		panic(fmt.Sprintf("ps: AddWork on finished/cancelled task %q", t.label))
+	}
+	r := t.res
+	r.settleAll()
+	t.remaining += extra
+	r.retimeAll()
+}
+
+// Cancel removes the task from the resource without running its completion
+// callback. Cancelling a finished or already-cancelled task is a no-op.
+func (t *Task) Cancel() {
+	if t.finished || t.cancelled {
+		return
+	}
+	r := t.res
+	r.settleAll()
+	t.cancelled = true
+	t.timer.Cancel()
+	t.timer = nil
+	delete(r.tasks, t)
+	r.retimeAll()
+}
+
+// Freeze stops all progress on the resource (models a node going down while
+// keeping its work queue intact). Tasks resume from their exact remaining
+// work on Thaw.
+func (r *Resource) Freeze() {
+	if r.frozen {
+		return
+	}
+	r.settleAll()
+	r.frozen = true
+	r.retimeAll()
+}
+
+// Thaw resumes a frozen resource.
+func (r *Resource) Thaw() {
+	if !r.frozen {
+		return
+	}
+	r.settleAll()
+	r.frozen = false
+	r.retimeAll()
+}
+
+// SetCapacity changes the aggregate capacity (e.g. node speed change after
+// a hardware upgrade) effective immediately. Per-task caps of running
+// tasks scale by the taskCap ratio, so a serial task on an upgraded node
+// speeds up like a freshly submitted one.
+func (r *Resource) SetCapacity(capacity, taskCap float64) {
+	if capacity <= 0 || taskCap <= 0 {
+		panic(fmt.Sprintf("ps: SetCapacity(%v, %v) on %q", capacity, taskCap, r.name))
+	}
+	r.settleAll()
+	ratio := taskCap / r.taskCap
+	for t := range r.tasks {
+		t.cap = math.Min(t.cap*ratio, capacity)
+	}
+	r.capacity = capacity
+	r.taskCap = taskCap
+	r.retimeAll()
+}
+
+// BusySeconds returns the accumulated capacity-seconds consumed so far
+// (∫ total rate dt), settled to the current time. Dividing by
+// capacity × elapsed gives utilization.
+func (r *Resource) BusySeconds() float64 {
+	r.accountTo(r.eng.Now())
+	return r.busyIntegral
+}
+
+func (r *Resource) accountTo(now float64) {
+	dt := now - r.lastAccount
+	if dt > 0 {
+		var total float64
+		for t := range r.tasks {
+			total += t.rate
+		}
+		r.busyIntegral += total * dt
+	}
+	r.lastAccount = now
+}
+
+// settleAll brings every task's remaining work up to the current instant.
+func (r *Resource) settleAll() {
+	now := r.eng.Now()
+	r.accountTo(now)
+	for t := range r.tasks {
+		dt := now - t.settled
+		if dt > 0 {
+			t.remaining -= t.rate * dt
+			if t.remaining < 0 {
+				// Guard against float rounding; the completion event fires
+				// the callback, so a tiny negative here is only cosmetic.
+				t.remaining = 0
+			}
+		}
+		t.settled = now
+	}
+}
+
+// retimeAll recomputes every task's rate and completion timer. Must be
+// called with all tasks settled to Now.
+func (r *Resource) retimeAll() {
+	now := r.eng.Now()
+	tasks := make([]*Task, 0, len(r.tasks))
+	for t := range r.tasks {
+		tasks = append(tasks, t)
+	}
+	// Stable order: map iteration must not influence timer scheduling
+	// (ties at the same instant fire in submission order).
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].seq < tasks[j].seq })
+	r.waterFill(tasks)
+	for _, t := range tasks {
+		t.timer.Cancel()
+		t.timer = nil
+		if t.rate <= 0 {
+			continue // frozen: no completion until thawed
+		}
+		eta := now + t.remaining/t.rate
+		tt := t
+		t.timer = r.eng.At(eta, func() { r.complete(tt) })
+	}
+}
+
+// complete finishes a task whose completion event fired.
+func (r *Resource) complete(t *Task) {
+	r.settleAll()
+	t.finished = true
+	t.remaining = 0
+	t.timer = nil
+	delete(r.tasks, t)
+	r.retimeAll()
+	if t.done != nil {
+		t.done()
+	}
+}

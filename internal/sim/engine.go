@@ -1,0 +1,192 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine keeps a virtual clock measured in seconds (float64) and a
+// priority queue of scheduled events. Events firing at the same instant are
+// delivered in the order they were scheduled, which makes every simulation
+// in this repository bit-reproducible: there is no wall-clock time, no
+// goroutine scheduling, and no randomness inside the kernel.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event simulator. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     float64
+	seq     int64
+	queue   eventQueue
+	running bool
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Timer is a handle to a scheduled event. It can be cancelled before it
+// fires; cancelling a fired or already-cancelled timer is a no-op.
+type Timer struct {
+	when  float64
+	seq   int64
+	index int // index in the heap, -1 once fired or cancelled
+	fn    func()
+	owner *Engine
+}
+
+// When returns the virtual time the timer is scheduled to fire at.
+func (t *Timer) When() float64 { return t.when }
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool { return t != nil && t.index >= 0 }
+
+// Cancel removes the timer from the event queue. It is safe to call on a
+// timer that has already fired or been cancelled, and on a nil timer.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.index < 0 {
+		return false
+	}
+	t.engineRemove()
+	return true
+}
+
+// engineRemove is set up when the timer is scheduled; see Engine.At.
+func (t *Timer) engineRemove() {
+	if t.owner != nil {
+		heap.Remove(&t.owner.queue, t.index)
+		t.index = -1
+		t.fn = nil
+	}
+}
+
+// At schedules fn to run at absolute virtual time when. Scheduling in the
+// past (before Now) panics, because it would silently corrupt causality.
+// Scheduling exactly at Now is allowed and fires after all currently queued
+// events for this instant that were scheduled earlier.
+func (e *Engine) At(when float64, fn func()) *Timer {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if math.IsNaN(when) {
+		panic("sim: At called with NaN time")
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, e.now))
+	}
+	e.seq++
+	t := &Timer{when: when, seq: e.seq, fn: fn, owner: e}
+	heap.Push(&e.queue, t)
+	return t
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (e *Engine) After(d float64, fn func()) *Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After called with negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// PeekNext returns the time of the next scheduled event, or +Inf when the
+// queue is empty.
+func (e *Engine) PeekNext() float64 {
+	if len(e.queue) == 0 {
+		return math.Inf(1)
+	}
+	return e.queue[0].when
+}
+
+// Stop makes the current Run or RunUntil call return after the in-flight
+// event handler completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the single next event, advancing the clock to its time.
+// It reports whether an event was fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	t := heap.Pop(&e.queue).(*Timer)
+	t.index = -1
+	e.now = t.when
+	fn := t.fn
+	t.fn = nil
+	fn()
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called. It returns
+// the final virtual time.
+func (e *Engine) Run() float64 {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for !e.stopped && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time <= deadline, then advances the clock to
+// deadline (if it is later than the last event) and returns. Events after
+// the deadline remain queued.
+func (e *Engine) RunUntil(deadline float64) float64 {
+	if e.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	e.stopped = false
+	defer func() { e.running = false }()
+	for !e.stopped && len(e.queue) > 0 && e.queue[0].when <= deadline {
+		e.Step()
+	}
+	if !e.stopped && deadline > e.now {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// eventQueue is a min-heap ordered by (when, seq).
+type eventQueue []*Timer
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	t := x.(*Timer)
+	t.index = len(*q)
+	*q = append(*q, t)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return t
+}

@@ -1,0 +1,98 @@
+package statsdb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Join materializes the hash equi-join of two tables on left.leftCol =
+// right.rightCol. The result is a new table whose columns are qualified
+// as "<table>.<column>", queryable with the ordinary machinery — so the
+// factory can ask questions that span run statistics and plant metadata
+// ("average walltime per node speed class"), the kind of monitoring query
+// §3's discussion of database-backed workflow management calls for.
+//
+// Rows pair in left-table order then right insertion order, so results
+// are deterministic. The join keys must be mutually comparable (same type
+// or both numeric).
+func Join(left, right *Table, leftCol, rightCol string) (*Table, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("statsdb: Join with nil table")
+	}
+	li := left.schema.Index(leftCol)
+	if li < 0 {
+		return nil, fmt.Errorf("statsdb: table %s has no column %q", left.name, leftCol)
+	}
+	ri := right.schema.Index(rightCol)
+	if ri < 0 {
+		return nil, fmt.Errorf("statsdb: table %s has no column %q", right.name, rightCol)
+	}
+	lt, rt := left.schema[li].Type, right.schema[ri].Type
+	comparable := lt == rt ||
+		((lt == Int || lt == Float) && (rt == Int || rt == Float))
+	if !comparable {
+		return nil, fmt.Errorf("statsdb: cannot join %s (%s) with %s (%s)",
+			leftCol, lt, rightCol, rt)
+	}
+
+	schema := make(Schema, 0, len(left.schema)+len(right.schema))
+	for _, c := range left.schema {
+		schema = append(schema, Column{Name: left.name + "." + c.Name, Type: c.Type})
+	}
+	for _, c := range right.schema {
+		schema = append(schema, Column{Name: right.name + "." + c.Name, Type: c.Type})
+	}
+	out, err := NewTable(left.name+"_join_"+right.name, schema)
+	if err != nil {
+		return nil, err
+	}
+
+	// Hash the right side. Numeric keys are normalized to Float so that
+	// Int 2 joins Float 2.0.
+	key := func(v Value) Value {
+		if v.Type() == Int {
+			return FloatVal(v.Float())
+		}
+		return v
+	}
+	build := make(map[Value][]int)
+	for id, row := range right.rows {
+		build[key(row[ri])] = append(build[key(row[ri])], id)
+	}
+	for _, lrow := range left.rows {
+		for _, rid := range build[key(lrow[li])] {
+			joined := make([]Value, 0, len(schema))
+			joined = append(joined, lrow...)
+			joined = append(joined, right.rows[rid]...)
+			if err := out.Insert(joined); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// resolveColumn maps a possibly-unqualified column name onto a table's
+// schema: an exact match wins; otherwise a unique ".name" suffix match is
+// accepted (so "walltime" finds "runs.walltime" after a join). Ambiguous
+// or unknown names error.
+func resolveColumn(t *Table, name string) (string, error) {
+	if t.schema.Index(name) >= 0 {
+		return name, nil
+	}
+	var matches []string
+	for _, c := range t.schema {
+		if strings.HasSuffix(c.Name, "."+name) {
+			matches = append(matches, c.Name)
+		}
+	}
+	switch len(matches) {
+	case 1:
+		return matches[0], nil
+	case 0:
+		return "", fmt.Errorf("statsdb: table %s has no column %q", t.name, name)
+	default:
+		return "", fmt.Errorf("statsdb: column %q is ambiguous in %s (%s)",
+			name, t.name, strings.Join(matches, ", "))
+	}
+}

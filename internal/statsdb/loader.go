@@ -1,0 +1,117 @@
+package statsdb
+
+import (
+	"fmt"
+
+	"repro/internal/logs"
+)
+
+// RunsTableName is the conventional name of the run-statistics table.
+const RunsTableName = "runs"
+
+// RunsSchema returns the schema of the run-statistics table: one tuple per
+// run execution, as harvested from run logs.
+func RunsSchema() Schema {
+	return Schema{
+		{Name: "forecast", Type: String},
+		{Name: "region", Type: String},
+		{Name: "year", Type: Int},
+		{Name: "day", Type: Int},
+		{Name: "node", Type: String},
+		{Name: "code_version", Type: String},
+		{Name: "code_factor", Type: Float},
+		{Name: "mesh", Type: String},
+		{Name: "mesh_sides", Type: Int},
+		{Name: "timesteps", Type: Int},
+		{Name: "start", Type: Float},
+		{Name: "end", Type: Float},
+		{Name: "walltime", Type: Float},
+		{Name: "status", Type: String},
+		{Name: "products", Type: Int},
+	}
+}
+
+// NodesTableName is the conventional name of the plant-metadata table.
+const NodesTableName = "nodes"
+
+// NodeRow is plant metadata for the nodes table.
+type NodeRow struct {
+	Name  string
+	CPUs  int
+	Speed float64
+}
+
+// LoadNodes creates (or extends) the nodes table, enabling joined queries
+// such as speed-normalized walltimes per node.
+func LoadNodes(db *DB, nodes []NodeRow) (*Table, error) {
+	t := db.Table(NodesTableName)
+	if t == nil {
+		var err error
+		t, err = db.CreateTable(NodesTableName, Schema{
+			{Name: "name", Type: String},
+			{Name: "cpus", Type: Int},
+			{Name: "speed", Type: Float},
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := t.CreateIndex("name"); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range nodes {
+		if n.Name == "" {
+			return nil, fmt.Errorf("statsdb: node row with empty name")
+		}
+		err := t.Insert([]Value{StringVal(n.Name), IntVal(int64(n.CPUs)), FloatVal(n.Speed)})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// LoadRuns creates (or extends) the runs table from crawled run records,
+// indexing the columns the factory's common queries probe: forecast name,
+// code version, and node.
+func LoadRuns(db *DB, records []*logs.RunRecord) (*Table, error) {
+	t := db.Table(RunsTableName)
+	if t == nil {
+		var err error
+		t, err = db.CreateTable(RunsTableName, RunsSchema())
+		if err != nil {
+			return nil, err
+		}
+		for _, col := range []string{"forecast", "code_version", "node"} {
+			if err := t.CreateIndex(col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, r := range records {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("statsdb: load runs: %w", err)
+		}
+		row := []Value{
+			StringVal(r.Forecast),
+			StringVal(r.Region),
+			IntVal(int64(r.Year)),
+			IntVal(int64(r.Day)),
+			StringVal(r.Node),
+			StringVal(r.CodeVersion),
+			FloatVal(r.CodeFactor),
+			StringVal(r.MeshName),
+			IntVal(int64(r.MeshSides)),
+			IntVal(int64(r.Timesteps)),
+			FloatVal(r.Start),
+			FloatVal(r.End),
+			FloatVal(r.Walltime),
+			StringVal(r.Status),
+			IntVal(int64(r.Products)),
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+package statsdb
+
+import (
+	"testing"
+
+	"repro/internal/logs"
+)
+
+func rec(forecast string, day int, wall float64, code string) *logs.RunRecord {
+	return &logs.RunRecord{
+		Forecast:    forecast,
+		Region:      "r",
+		Year:        2005,
+		Day:         day,
+		Node:        "fnode01",
+		CodeVersion: code,
+		CodeFactor:  1,
+		MeshName:    "m",
+		MeshSides:   30000,
+		Timesteps:   5760,
+		Start:       0,
+		End:         wall,
+		Walltime:    wall,
+		Status:      logs.StatusCompleted,
+		Products:    8,
+	}
+}
+
+func TestLoadRunsCreatesIndexedTable(t *testing.T) {
+	db := NewDB()
+	tbl, err := LoadRuns(db, []*logs.RunRecord{
+		rec("tillamook", 1, 40000, "v1"),
+		rec("tillamook", 2, 40100, "v1"),
+		rec("dev", 1, 32000, "v2"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 3 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	for _, col := range []string{"forecast", "code_version", "node"} {
+		if !tbl.Indexed(col) {
+			t.Fatalf("column %s not indexed", col)
+		}
+	}
+	// The paper's query works end to end over loaded data.
+	res, err := db.Query("SELECT forecast FROM runs WHERE code_version = 'v1' GROUP BY forecast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "tillamook" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestLoadRunsAppendsToExistingTable(t *testing.T) {
+	db := NewDB()
+	if _, err := LoadRuns(db, []*logs.RunRecord{rec("a", 1, 100, "v")}); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := LoadRuns(db, []*logs.RunRecord{rec("a", 2, 110, "v")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d after second load", tbl.Len())
+	}
+}
+
+func TestLoadRunsRejectsInvalidRecords(t *testing.T) {
+	db := NewDB()
+	bad := rec("a", 1, 100, "v")
+	bad.Day = 0
+	if _, err := LoadRuns(db, []*logs.RunRecord{bad}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}

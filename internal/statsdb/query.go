@@ -1,0 +1,623 @@
+package statsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Op is a comparison operator in a predicate.
+type Op int
+
+// Predicate operators.
+const (
+	OpEq Op = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+// String renders the operator in SQL syntax.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Pred is one column-vs-literal comparison. Predicates in a query are
+// conjoined (AND).
+type Pred struct {
+	Col string
+	Op  Op
+	Val Value
+}
+
+// matches evaluates the predicate against a value.
+func (p Pred) matches(v Value) (bool, error) {
+	c, err := Compare(v, p.Val)
+	if err != nil {
+		return false, err
+	}
+	switch p.Op {
+	case OpEq:
+		return c == 0, nil
+	case OpNe:
+		return c != 0, nil
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	case OpGe:
+		return c >= 0, nil
+	default:
+		return false, fmt.Errorf("statsdb: unknown operator %v", p.Op)
+	}
+}
+
+// AggFn is an aggregate function.
+type AggFn int
+
+// Aggregate functions.
+const (
+	AggCount AggFn = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String renders the function name in SQL syntax.
+func (f AggFn) String() string {
+	switch f {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggFn(%d)", int(f))
+	}
+}
+
+// Agg is one aggregate in a select list. Col is "*" for COUNT(*).
+type Agg struct {
+	Fn  AggFn
+	Col string
+}
+
+// Label returns the result-column label, e.g. "avg(walltime)".
+func (a Agg) Label() string {
+	return strings.ToLower(a.Fn.String()) + "(" + a.Col + ")"
+}
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Col  string // a selected column or aggregate label
+	Desc bool
+}
+
+// Query is a single-table select. Build with Select, chain modifiers, and
+// finish with Run.
+type Query struct {
+	table   *Table
+	cols    []string
+	aggs    []Agg
+	preds   []Pred
+	groupBy []string
+	orderBy []OrderKey
+	limit   int // 0 = no limit
+	err     error
+}
+
+// Select starts a query over a table projecting the named columns (or all
+// columns when none are given).
+func Select(t *Table, cols ...string) *Query {
+	q := &Query{table: t, limit: 0}
+	if t == nil {
+		q.err = fmt.Errorf("statsdb: Select on nil table")
+		return q
+	}
+	if len(cols) == 0 {
+		for _, c := range t.schema {
+			q.cols = append(q.cols, c.Name)
+		}
+	} else {
+		q.cols = append(q.cols, cols...)
+	}
+	return q
+}
+
+// Aggregate adds aggregate terms to the select list.
+func (q *Query) Aggregate(aggs ...Agg) *Query {
+	q.aggs = append(q.aggs, aggs...)
+	return q
+}
+
+// Where adds AND-conjoined predicates.
+func (q *Query) Where(preds ...Pred) *Query {
+	q.preds = append(q.preds, preds...)
+	return q
+}
+
+// GroupBy sets grouping columns. With grouping, the plain select list must
+// be a subset of the grouping columns.
+func (q *Query) GroupBy(cols ...string) *Query {
+	q.groupBy = append(q.groupBy, cols...)
+	return q
+}
+
+// OrderBy sets result ordering.
+func (q *Query) OrderBy(keys ...OrderKey) *Query {
+	q.orderBy = append(q.orderBy, keys...)
+	return q
+}
+
+// Limit caps the number of result rows (0 = unlimited).
+func (q *Query) Limit(n int) *Query {
+	q.limit = n
+	return q
+}
+
+// Result is a query result: named columns and rows.
+type Result struct {
+	Columns []string
+	Rows    [][]Value
+}
+
+// Column returns the index of a result column, or -1.
+func (r *Result) Column(name string) int {
+	for i, c := range r.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Floats extracts a numeric result column as float64s.
+func (r *Result) Floats(name string) ([]float64, error) {
+	ci := r.Column(name)
+	if ci < 0 {
+		return nil, fmt.Errorf("statsdb: result has no column %q", name)
+	}
+	out := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		if !row[ci].IsNumeric() {
+			return nil, fmt.Errorf("statsdb: column %q is not numeric", name)
+		}
+		out[i] = row[ci].Float()
+	}
+	return out, nil
+}
+
+// Explain describes the access path and operators the query will use,
+// without executing it: "index probe on <col>" or "full scan", plus
+// filter, group, order, and limit stages.
+func (q *Query) Explain() (string, error) {
+	if q.err != nil {
+		return "", q.err
+	}
+	t := q.table
+	var b strings.Builder
+	probe := ""
+	for _, p := range q.preds {
+		if p.Op == OpEq && t.Indexed(p.Col) {
+			probe = p.Col
+			break
+		}
+	}
+	if probe != "" {
+		fmt.Fprintf(&b, "index probe on %s.%s", t.name, probe)
+	} else {
+		fmt.Fprintf(&b, "full scan of %s (%d rows)", t.name, t.Len())
+	}
+	if n := len(q.preds); n > 0 {
+		fmt.Fprintf(&b, " | filter %d predicate(s)", n)
+	}
+	if len(q.groupBy) > 0 {
+		fmt.Fprintf(&b, " | hash group by (%s)", strings.Join(q.groupBy, ", "))
+	} else if len(q.aggs) > 0 {
+		b.WriteString(" | aggregate")
+	}
+	if len(q.orderBy) > 0 {
+		var keys []string
+		for _, k := range q.orderBy {
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			keys = append(keys, k.Col+" "+dir)
+		}
+		fmt.Fprintf(&b, " | sort (%s)", strings.Join(keys, ", "))
+	}
+	if q.limit > 0 {
+		fmt.Fprintf(&b, " | limit %d", q.limit)
+	}
+	return b.String(), nil
+}
+
+// Run plans and executes the query.
+//
+// Planning: an equality predicate on an indexed column selects an index
+// probe; remaining predicates filter the probed rows. Otherwise the table
+// is scanned. Grouping hashes rows by group key; ordering is a stable sort
+// over the result.
+func (q *Query) Run() (*Result, error) {
+	if q.err != nil {
+		return nil, q.err
+	}
+	t := q.table
+
+	// Resolve and validate referenced columns.
+	for _, c := range q.cols {
+		if t.schema.Index(c) < 0 {
+			return nil, fmt.Errorf("statsdb: table %s has no column %q", t.name, c)
+		}
+	}
+	for _, p := range q.preds {
+		if t.schema.Index(p.Col) < 0 {
+			return nil, fmt.Errorf("statsdb: table %s has no column %q", t.name, p.Col)
+		}
+	}
+	for _, g := range q.groupBy {
+		if t.schema.Index(g) < 0 {
+			return nil, fmt.Errorf("statsdb: table %s has no column %q", t.name, g)
+		}
+	}
+	for _, a := range q.aggs {
+		if a.Col != "*" && t.schema.Index(a.Col) < 0 {
+			return nil, fmt.Errorf("statsdb: table %s has no column %q", t.name, a.Col)
+		}
+		if a.Col == "*" && a.Fn != AggCount {
+			return nil, fmt.Errorf("statsdb: %s(*) is not defined", a.Fn)
+		}
+	}
+	if len(q.groupBy) > 0 {
+		group := make(map[string]bool, len(q.groupBy))
+		for _, g := range q.groupBy {
+			group[g] = true
+		}
+		for _, c := range q.cols {
+			if !group[c] {
+				return nil, fmt.Errorf("statsdb: column %q selected but not grouped", c)
+			}
+		}
+	}
+	if len(q.aggs) > 0 && len(q.groupBy) == 0 && len(q.colsExplicit()) > 0 {
+		return nil, fmt.Errorf("statsdb: plain columns with aggregates require GROUP BY")
+	}
+
+	rowIDs, err := q.plan()
+	if err != nil {
+		return nil, err
+	}
+
+	var res *Result
+	if len(q.aggs) > 0 || len(q.groupBy) > 0 {
+		res, err = q.aggregate(rowIDs)
+	} else {
+		res, err = q.project(rowIDs)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := q.order(res); err != nil {
+		return nil, err
+	}
+	if q.limit > 0 && len(res.Rows) > q.limit {
+		res.Rows = res.Rows[:q.limit]
+	}
+	return res, nil
+}
+
+// colsExplicit returns the select-list columns when aggregates are present
+// (the implicit all-columns default does not count).
+func (q *Query) colsExplicit() []string {
+	if len(q.cols) == len(q.table.schema) {
+		all := true
+		for i, c := range q.cols {
+			if c != q.table.schema[i].Name {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+	}
+	return q.cols
+}
+
+// plan chooses index probe vs scan and applies all predicates.
+func (q *Query) plan() ([]int, error) {
+	t := q.table
+	candidates := -1 // index into preds used for the probe
+	for i, p := range q.preds {
+		if p.Op == OpEq && t.Indexed(p.Col) {
+			candidates = i
+			break
+		}
+	}
+	var ids []int
+	if candidates >= 0 {
+		probe := q.preds[candidates]
+		ids = append(ids, t.indexes[probe.Col][probe.Val]...)
+	} else {
+		ids = make([]int, len(t.rows))
+		for i := range t.rows {
+			ids[i] = i
+		}
+	}
+	var out []int
+	for _, id := range ids {
+		row := t.rows[id]
+		keep := true
+		for _, p := range q.preds {
+			ok, err := p.matches(row[t.schema.Index(p.Col)])
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out) // deterministic row order regardless of access path
+	return out, nil
+}
+
+// project emits the plain select list.
+func (q *Query) project(rowIDs []int) (*Result, error) {
+	t := q.table
+	res := &Result{Columns: append([]string(nil), q.cols...)}
+	cis := make([]int, len(q.cols))
+	for i, c := range q.cols {
+		cis[i] = t.schema.Index(c)
+	}
+	for _, id := range rowIDs {
+		row := make([]Value, len(cis))
+		for i, ci := range cis {
+			row[i] = t.rows[id][ci]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// aggregate groups rows and computes aggregates per group (or one global
+// group without GROUP BY).
+func (q *Query) aggregate(rowIDs []int) (*Result, error) {
+	t := q.table
+	groupCols := q.groupBy
+	selectCols := q.colsExplicit()
+	if len(groupCols) == 0 {
+		selectCols = nil
+	}
+
+	res := &Result{}
+	res.Columns = append(res.Columns, selectCols...)
+	for _, a := range q.aggs {
+		res.Columns = append(res.Columns, a.Label())
+	}
+
+	type groupState struct {
+		key    []Value
+		accums []*accum
+		order  int
+	}
+	groups := make(map[string]*groupState)
+	var groupOrder []string
+
+	keyOf := func(row []Value) (string, []Value) {
+		if len(groupCols) == 0 {
+			return "", nil
+		}
+		parts := make([]string, len(groupCols))
+		vals := make([]Value, len(groupCols))
+		for i, g := range groupCols {
+			v := row[t.schema.Index(g)]
+			parts[i] = fmt.Sprintf("%d\x00%s", v.Type(), v.String())
+			vals[i] = v
+		}
+		return strings.Join(parts, "\x01"), vals
+	}
+
+	for _, id := range rowIDs {
+		row := t.rows[id]
+		key, vals := keyOf(row)
+		g, ok := groups[key]
+		if !ok {
+			g = &groupState{key: vals, order: len(groupOrder)}
+			for range q.aggs {
+				g.accums = append(g.accums, &accum{})
+			}
+			groups[key] = g
+			groupOrder = append(groupOrder, key)
+		}
+		for i, a := range q.aggs {
+			if a.Col == "*" {
+				g.accums[i].count++
+				continue
+			}
+			v := row[t.schema.Index(a.Col)]
+			if err := g.accums[i].observe(a, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(groupCols) == 0 && len(groupOrder) == 0 {
+		// Aggregates over an empty selection still yield one row.
+		g := &groupState{}
+		for range q.aggs {
+			g.accums = append(g.accums, &accum{})
+		}
+		groups[""] = g
+		groupOrder = append(groupOrder, "")
+	}
+
+	// Emit groups in first-seen order; a subset of the select columns maps
+	// group-key values into the output row.
+	keyIdx := make(map[string]int, len(groupCols))
+	for i, g := range groupCols {
+		keyIdx[g] = i
+	}
+	for _, key := range groupOrder {
+		g := groups[key]
+		row := make([]Value, 0, len(res.Columns))
+		for _, c := range selectCols {
+			row = append(row, g.key[keyIdx[c]])
+		}
+		for i, a := range q.aggs {
+			v, err := g.accums[i].result(a)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// accum accumulates one aggregate.
+type accum struct {
+	count  int64
+	sum    float64
+	min    Value
+	max    Value
+	seen   bool
+	sawInt bool
+	sawFlt bool
+}
+
+func (a *accum) observe(ag Agg, v Value) error {
+	switch ag.Fn {
+	case AggCount:
+		a.count++
+		return nil
+	case AggSum, AggAvg:
+		if !v.IsNumeric() {
+			return fmt.Errorf("statsdb: %s over non-numeric column %q", ag.Fn, ag.Col)
+		}
+		a.count++
+		a.sum += v.Float()
+		if v.Type() == Int {
+			a.sawInt = true
+		} else {
+			a.sawFlt = true
+		}
+		return nil
+	case AggMin, AggMax:
+		a.count++
+		if !a.seen {
+			a.min, a.max, a.seen = v, v, true
+			return nil
+		}
+		cMin, err := Compare(v, a.min)
+		if err != nil {
+			return err
+		}
+		if cMin < 0 {
+			a.min = v
+		}
+		cMax, err := Compare(v, a.max)
+		if err != nil {
+			return err
+		}
+		if cMax > 0 {
+			a.max = v
+		}
+		return nil
+	default:
+		return fmt.Errorf("statsdb: unknown aggregate %v", ag.Fn)
+	}
+}
+
+func (a *accum) result(ag Agg) (Value, error) {
+	switch ag.Fn {
+	case AggCount:
+		return IntVal(a.count), nil
+	case AggSum:
+		if a.sawInt && !a.sawFlt {
+			return IntVal(int64(a.sum)), nil
+		}
+		return FloatVal(a.sum), nil
+	case AggAvg:
+		if a.count == 0 {
+			return FloatVal(0), nil
+		}
+		return FloatVal(a.sum / float64(a.count)), nil
+	case AggMin:
+		if !a.seen {
+			return IntVal(0), nil
+		}
+		return a.min, nil
+	case AggMax:
+		if !a.seen {
+			return IntVal(0), nil
+		}
+		return a.max, nil
+	default:
+		return Value{}, fmt.Errorf("statsdb: unknown aggregate %v", ag.Fn)
+	}
+}
+
+// order applies ORDER BY to a result in place (stable).
+func (q *Query) order(res *Result) error {
+	if len(q.orderBy) == 0 {
+		return nil
+	}
+	cis := make([]int, len(q.orderBy))
+	for i, k := range q.orderBy {
+		ci := res.Column(k.Col)
+		if ci < 0 {
+			return fmt.Errorf("statsdb: ORDER BY column %q is not in the result", k.Col)
+		}
+		cis[i] = ci
+	}
+	var sortErr error
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for k, key := range q.orderBy {
+			c, err := Compare(res.Rows[i][cis[k]], res.Rows[j][cis[k]])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			if c == 0 {
+				continue
+			}
+			if key.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}

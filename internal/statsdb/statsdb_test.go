@@ -1,0 +1,348 @@
+package statsdb
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func runsFixture(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("runs", Schema{
+		{Name: "forecast", Type: String},
+		{Name: "day", Type: Int},
+		{Name: "walltime", Type: Float},
+		{Name: "code_version", Type: String},
+		{Name: "ok", Type: Bool},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := []struct {
+		f    string
+		d    int64
+		w    float64
+		code string
+		ok   bool
+	}{
+		{"tillamook", 1, 40000, "v1", true},
+		{"tillamook", 2, 40100, "v1", true},
+		{"tillamook", 3, 80000, "v2", true},
+		{"dev", 1, 32000, "v1", true},
+		{"dev", 2, 31900, "v1", false},
+		{"dev", 3, 52000, "v3", true},
+	}
+	for _, r := range rows {
+		err := tbl.Insert([]Value{StringVal(r.f), IntVal(r.d), FloatVal(r.w), StringVal(r.code), BoolVal(r.ok)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func TestInsertTypeChecking(t *testing.T) {
+	tbl := runsFixture(t)
+	if err := tbl.Insert([]Value{IntVal(1), IntVal(1), FloatVal(1), StringVal("v"), BoolVal(true)}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	if err := tbl.Insert([]Value{StringVal("x")}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := tbl.Insert([]Value{StringVal("x"), IntVal(1), FloatVal(nan()), StringVal("v"), BoolVal(true)}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return 0 / z
+}
+
+func TestSelectAllPreservesInsertionOrder(t *testing.T) {
+	tbl := runsFixture(t)
+	res, err := Select(tbl).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 || len(res.Columns) != 5 {
+		t.Fatalf("shape %dx%d", len(res.Rows), len(res.Columns))
+	}
+	if res.Rows[0][0].Str() != "tillamook" || res.Rows[3][0].Str() != "dev" {
+		t.Fatal("row order wrong")
+	}
+}
+
+func TestWherePredicates(t *testing.T) {
+	tbl := runsFixture(t)
+	res, err := Select(tbl, "forecast", "walltime").
+		Where(Pred{"walltime", OpGt, FloatVal(40000)}, Pred{"ok", OpEq, BoolVal(true)}).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // 40100, 80000, 52000
+		t.Fatalf("got %d rows: %v", len(res.Rows), res.Rows)
+	}
+}
+
+func TestIndexProbeMatchesScan(t *testing.T) {
+	tbl := runsFixture(t)
+	scan, err := Select(tbl).Where(Pred{"forecast", OpEq, StringVal("dev")}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.CreateIndex("forecast"); err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Indexed("forecast") {
+		t.Fatal("index not reported")
+	}
+	probe, err := Select(tbl).Where(Pred{"forecast", OpEq, StringVal("dev")}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scan.Rows) != len(probe.Rows) {
+		t.Fatalf("scan %d rows, probe %d rows", len(scan.Rows), len(probe.Rows))
+	}
+	for i := range scan.Rows {
+		for j := range scan.Rows[i] {
+			if scan.Rows[i][j] != probe.Rows[i][j] {
+				t.Fatalf("row %d differs between scan and probe", i)
+			}
+		}
+	}
+}
+
+func TestIndexMaintainedAcrossInserts(t *testing.T) {
+	tbl := runsFixture(t)
+	if err := tbl.CreateIndex("code_version"); err != nil {
+		t.Fatal(err)
+	}
+	err := tbl.Insert([]Value{StringVal("new"), IntVal(9), FloatVal(1000), StringVal("v9"), BoolVal(true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Select(tbl, "forecast").Where(Pred{"code_version", OpEq, StringVal("v9")}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "new" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	tbl := runsFixture(t)
+	res, err := Select(tbl, "forecast").
+		Aggregate(Agg{AggCount, "*"}, Agg{AggAvg, "walltime"}, Agg{AggMin, "day"}, Agg{AggMax, "day"}).
+		GroupBy("forecast").
+		OrderBy(OrderKey{Col: "forecast"}).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// dev first (ordered).
+	dev := res.Rows[0]
+	if dev[0].Str() != "dev" || dev[1].Int() != 3 {
+		t.Fatalf("dev row = %v", dev)
+	}
+	wantAvg := (32000.0 + 31900 + 52000) / 3
+	if got := dev[res.Column("avg(walltime)")].Float(); got != wantAvg {
+		t.Fatalf("avg = %v, want %v", got, wantAvg)
+	}
+	if dev[res.Column("min(day)")].Int() != 1 || dev[res.Column("max(day)")].Int() != 3 {
+		t.Fatalf("min/max wrong: %v", dev)
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	tbl := runsFixture(t)
+	res, err := (&Query{table: tbl}).
+		Aggregate(Agg{AggSum, "walltime"}, Agg{AggCount, "*"}).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if got := res.Rows[0][0].Float(); got != 276000 {
+		t.Fatalf("sum = %v", got)
+	}
+	if res.Rows[0][1].Int() != 6 {
+		t.Fatalf("count = %v", res.Rows[0][1])
+	}
+}
+
+func TestSumOfIntsStaysInt(t *testing.T) {
+	tbl := runsFixture(t)
+	res, err := (&Query{table: tbl}).Aggregate(Agg{AggSum, "day"}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Rows[0][0]
+	if v.Type() != Int || v.Int() != 12 {
+		t.Fatalf("sum(day) = %v (%s)", v, v.Type())
+	}
+}
+
+func TestOrderByDescAndLimit(t *testing.T) {
+	tbl := runsFixture(t)
+	res, err := Select(tbl, "walltime").
+		OrderBy(OrderKey{Col: "walltime", Desc: true}).
+		Limit(2).
+		Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Float() != 80000 || res.Rows[1][0].Float() != 52000 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestQueryValidationErrors(t *testing.T) {
+	tbl := runsFixture(t)
+	cases := []*Query{
+		Select(tbl, "missing"),
+		Select(tbl).Where(Pred{"missing", OpEq, IntVal(1)}),
+		Select(tbl, "forecast").GroupBy("missing"),
+		Select(tbl, "walltime").Aggregate(Agg{AggCount, "*"}).GroupBy("forecast"),      // walltime not grouped
+		Select(tbl, "forecast").Aggregate(Agg{AggSum, "forecast"}).GroupBy("forecast"), // sum of string
+		(&Query{table: tbl}).Aggregate(Agg{AggSum, "*"}),
+		Select(nil),
+	}
+	for i, q := range cases {
+		if _, err := q.Run(); err == nil {
+			t.Errorf("case %d: invalid query accepted", i)
+		}
+	}
+}
+
+func TestMixedTypeComparisonFails(t *testing.T) {
+	tbl := runsFixture(t)
+	if _, err := Select(tbl).Where(Pred{"forecast", OpLt, IntVal(3)}).Run(); err == nil {
+		t.Fatal("string < int accepted")
+	}
+}
+
+func TestIntFloatComparableInPredicates(t *testing.T) {
+	tbl := runsFixture(t)
+	res, err := Select(tbl).Where(Pred{"day", OpGe, FloatVal(2.5)}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestDBTables(t *testing.T) {
+	db := NewDB()
+	if _, err := db.CreateTable("a", Schema{{Name: "x", Type: Int}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("a", Schema{{Name: "x", Type: Int}}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := db.CreateTable("", Schema{{Name: "x", Type: Int}}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := db.CreateTable("b", Schema{}); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := db.CreateTable("c", Schema{{Name: "x", Type: Int}, {Name: "x", Type: Int}}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+	if db.Table("a") == nil || db.Table("zz") != nil {
+		t.Fatal("table lookup wrong")
+	}
+	if strings.Join(db.TableNames(), ",") != "a" {
+		t.Fatalf("TableNames = %v", db.TableNames())
+	}
+}
+
+func TestValueAccessorsAndStrings(t *testing.T) {
+	if IntVal(3).Float() != 3 || FloatVal(2.5).Float() != 2.5 {
+		t.Fatal("numeric accessors wrong")
+	}
+	if IntVal(3).String() != "3" || StringVal("x").String() != "x" || BoolVal(true).String() != "true" {
+		t.Fatal("String renderings wrong")
+	}
+	if FloatVal(2.5).String() != "2.5" {
+		t.Fatalf("FloatVal.String = %q", FloatVal(2.5).String())
+	}
+	for _, ty := range []Type{Int, Float, String, Bool, Type(9)} {
+		if ty.String() == "" {
+			t.Fatal("empty type name")
+		}
+	}
+	for _, op := range []Op{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, Op(9)} {
+		if op.String() == "" {
+			t.Fatal("empty op name")
+		}
+	}
+	for _, fn := range []AggFn{AggCount, AggSum, AggAvg, AggMin, AggMax, AggFn(9)} {
+		if fn.String() == "" {
+			t.Fatal("empty agg name")
+		}
+	}
+}
+
+// Property: for random predicates over a random int table, the query
+// result matches a straightforward reference filter.
+func TestPropertyWhereMatchesReferenceFilter(t *testing.T) {
+	f := func(data []int8, threshold int8, opRaw uint8) bool {
+		tbl, err := NewTable("t", Schema{{Name: "v", Type: Int}})
+		if err != nil {
+			return false
+		}
+		for _, d := range data {
+			if err := tbl.Insert([]Value{IntVal(int64(d))}); err != nil {
+				return false
+			}
+		}
+		op := Op(opRaw % 6)
+		res, err := Select(tbl).Where(Pred{"v", op, IntVal(int64(threshold))}).Run()
+		if err != nil {
+			return false
+		}
+		var want []int64
+		for _, d := range data {
+			v, th := int64(d), int64(threshold)
+			keep := false
+			switch op {
+			case OpEq:
+				keep = v == th
+			case OpNe:
+				keep = v != th
+			case OpLt:
+				keep = v < th
+			case OpLe:
+				keep = v <= th
+			case OpGt:
+				keep = v > th
+			case OpGe:
+				keep = v >= th
+			}
+			if keep {
+				want = append(want, v)
+			}
+		}
+		if len(res.Rows) != len(want) {
+			return false
+		}
+		for i, row := range res.Rows {
+			if row[0].Int() != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

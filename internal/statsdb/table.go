@@ -1,0 +1,167 @@
+package statsdb
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column declares one table column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// Index returns the position of a column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is a heap of typed rows with optional hash indexes. Create with
+// DB.CreateTable or NewTable.
+type Table struct {
+	name    string
+	schema  Schema
+	rows    [][]Value
+	indexes map[string]map[Value][]int // column name → value → row ids
+}
+
+// NewTable creates a table. Duplicate or empty column names are errors.
+func NewTable(name string, schema Schema) (*Table, error) {
+	if name == "" {
+		return nil, fmt.Errorf("statsdb: table needs a name")
+	}
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("statsdb: table %s needs at least one column", name)
+	}
+	seen := make(map[string]bool, len(schema))
+	for _, c := range schema {
+		if c.Name == "" {
+			return nil, fmt.Errorf("statsdb: table %s has an unnamed column", name)
+		}
+		if seen[c.Name] {
+			return nil, fmt.Errorf("statsdb: table %s has duplicate column %q", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	return &Table{
+		name:    name,
+		schema:  append(Schema(nil), schema...),
+		indexes: make(map[string]map[Value][]int),
+	}, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns a copy of the table's schema.
+func (t *Table) Schema() Schema { return append(Schema(nil), t.schema...) }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// CreateIndex builds a hash index on a column. Indexing an indexed column
+// again is a no-op.
+func (t *Table) CreateIndex(column string) error {
+	ci := t.schema.Index(column)
+	if ci < 0 {
+		return fmt.Errorf("statsdb: table %s has no column %q", t.name, column)
+	}
+	if _, ok := t.indexes[column]; ok {
+		return nil
+	}
+	idx := make(map[Value][]int)
+	for rowID, row := range t.rows {
+		idx[row[ci]] = append(idx[row[ci]], rowID)
+	}
+	t.indexes[column] = idx
+	return nil
+}
+
+// Indexed reports whether a column has a hash index.
+func (t *Table) Indexed(column string) bool {
+	_, ok := t.indexes[column]
+	return ok
+}
+
+// IndexedColumns returns the indexed column names, sorted.
+func (t *Table) IndexedColumns() []string {
+	out := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Insert appends a row, enforcing arity and column types, and maintains
+// all indexes.
+func (t *Table) Insert(row []Value) error {
+	if len(row) != len(t.schema) {
+		return fmt.Errorf("statsdb: table %s expects %d values, got %d", t.name, len(t.schema), len(row))
+	}
+	for i, v := range row {
+		if v.Type() != t.schema[i].Type {
+			return fmt.Errorf("statsdb: table %s column %q expects %s, got %s",
+				t.name, t.schema[i].Name, t.schema[i].Type, v.Type())
+		}
+		if err := checkValue(v); err != nil {
+			return fmt.Errorf("statsdb: table %s column %q: %w", t.name, t.schema[i].Name, err)
+		}
+	}
+	rowID := len(t.rows)
+	t.rows = append(t.rows, append([]Value(nil), row...))
+	for column, idx := range t.indexes {
+		ci := t.schema.Index(column)
+		idx[row[ci]] = append(idx[row[ci]], rowID)
+	}
+	return nil
+}
+
+// Row returns a copy of the i-th row.
+func (t *Table) Row(i int) []Value {
+	return append([]Value(nil), t.rows[i]...)
+}
+
+// DB is a named collection of tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*Table)}
+}
+
+// CreateTable adds a table to the database.
+func (db *DB) CreateTable(name string, schema Schema) (*Table, error) {
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("statsdb: table %s already exists", name)
+	}
+	t, err := NewTable(name, schema)
+	if err != nil {
+		return nil, err
+	}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table returns a table by name, or nil.
+func (db *DB) Table(name string) *Table { return db.tables[name] }
+
+// TableNames returns all table names, sorted.
+func (db *DB) TableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,290 @@
+package vfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAndStat(t *testing.T) {
+	fs := New(nil)
+	if err := fs.Create("/runs/tillamook/out.63"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fs.Stat("/runs/tillamook/out.63")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 0 || info.IsDir || info.Name != "out.63" {
+		t.Fatalf("unexpected info %+v", info)
+	}
+	// Parents were created.
+	dir, err := fs.Stat("/runs/tillamook")
+	if err != nil || !dir.IsDir {
+		t.Fatalf("parent dir: %+v, %v", dir, err)
+	}
+}
+
+func TestCreateExistingFails(t *testing.T) {
+	fs := New(nil)
+	if err := fs.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/a"); !errors.Is(err, ErrExist) {
+		t.Fatalf("err = %v, want ErrExist", err)
+	}
+}
+
+func TestAppendGrowsFile(t *testing.T) {
+	fs := New(nil)
+	if err := fs.Append("/data/1_salt.63", 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("/data/1_salt.63", 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.Size("/data/1_salt.63"); got != 1500 {
+		t.Fatalf("Size = %d, want 1500", got)
+	}
+}
+
+func TestAppendNegativeFails(t *testing.T) {
+	fs := New(nil)
+	if err := fs.Append("/a", -1); err == nil {
+		t.Fatal("negative append succeeded")
+	}
+}
+
+func TestTextFiles(t *testing.T) {
+	fs := New(nil)
+	if err := fs.WriteString("/runs/f1/run.log", "walltime: 40000\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendString("/runs/f1/run.log", "code: elcirc-5.01\n"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/runs/f1/run.log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "walltime: 40000\ncode: elcirc-5.01\n"
+	if got != want {
+		t.Fatalf("ReadFile = %q, want %q", got, want)
+	}
+	if fs.Size("/runs/f1/run.log") != int64(len(want)) {
+		t.Fatalf("Size = %d, want %d", fs.Size("/runs/f1/run.log"), len(want))
+	}
+}
+
+func TestMixingSizeOnlyAndContentFails(t *testing.T) {
+	fs := New(nil)
+	if err := fs.Append("/bulk", 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendString("/bulk", "text"); err == nil {
+		t.Fatal("text append to size-only file succeeded")
+	}
+	if _, err := fs.ReadFile("/bulk"); err == nil {
+		t.Fatal("ReadFile of size-only file succeeded")
+	}
+	if err := fs.WriteString("/text", "hi"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append("/text", 10); err == nil {
+		t.Fatal("size-only append to content file succeeded")
+	}
+}
+
+func TestMTimeUsesClock(t *testing.T) {
+	now := 0.0
+	fs := New(func() float64 { return now })
+	now = 42
+	if err := fs.Append("/f", 1); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := fs.Stat("/f")
+	if info.MTime != 42 {
+		t.Fatalf("MTime = %v, want 42", info.MTime)
+	}
+	now = 100
+	_ = fs.Append("/f", 1)
+	info, _ = fs.Stat("/f")
+	if info.MTime != 100 {
+		t.Fatalf("MTime = %v, want 100", info.MTime)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	fs := New(nil)
+	for _, name := range []string{"/d/c", "/d/a", "/d/b"} {
+		if err := fs.Create(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := fs.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, info := range infos {
+		names = append(names, info.Name)
+	}
+	if strings.Join(names, ",") != "a,b,c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestReadDirErrors(t *testing.T) {
+	fs := New(nil)
+	if _, err := fs.ReadDir("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+	_ = fs.Create("/file")
+	if _, err := fs.ReadDir("/file"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("err = %v, want ErrNotDir", err)
+	}
+}
+
+func TestWalkVisitsEverything(t *testing.T) {
+	fs := New(nil)
+	paths := []string{"/runs/a/out.63", "/runs/a/run.log", "/runs/b/out.63"}
+	for _, p := range paths {
+		if err := fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var visited []string
+	err := fs.Walk("/runs", func(info FileInfo) error {
+		visited = append(visited, info.Path)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/runs", "/runs/a", "/runs/a/out.63", "/runs/a/run.log", "/runs/b", "/runs/b/out.63"}
+	if len(visited) != len(want) {
+		t.Fatalf("visited = %v, want %v", visited, want)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited = %v, want %v", visited, want)
+		}
+	}
+}
+
+func TestWalkErrorStops(t *testing.T) {
+	fs := New(nil)
+	_ = fs.Create("/d/a")
+	_ = fs.Create("/d/b")
+	sentinel := errors.New("stop")
+	count := 0
+	err := fs.Walk("/d", func(info FileInfo) error {
+		count++
+		if count == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+func TestGlob(t *testing.T) {
+	fs := New(nil)
+	for _, p := range []string{"/runs/f1/1_salt.63", "/runs/f1/2_salt.63", "/runs/f1/1_temp.63", "/runs/f1/run.log"} {
+		if err := fs.Create(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := fs.Glob("/runs", "*_salt.63")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "/runs/f1/1_salt.63" || got[1] != "/runs/f1/2_salt.63" {
+		t.Fatalf("Glob = %v", got)
+	}
+}
+
+func TestTreeSize(t *testing.T) {
+	fs := New(nil)
+	_ = fs.Append("/d/a", 100)
+	_ = fs.Append("/d/sub/b", 250)
+	if got := fs.TreeSize("/d"); got != 350 {
+		t.Fatalf("TreeSize = %d, want 350", got)
+	}
+	if got := fs.TreeSize("/missing"); got != 0 {
+		t.Fatalf("TreeSize(missing) = %d, want 0", got)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs := New(nil)
+	_ = fs.Create("/d/a")
+	if err := fs.Remove("/d"); err == nil {
+		t.Fatal("removed non-empty directory")
+	}
+	if err := fs.Remove("/d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("/d") {
+		t.Fatal("directory still exists after Remove")
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("err = %v, want ErrNotExist", err)
+	}
+}
+
+func TestMkdirAllOverFileFails(t *testing.T) {
+	fs := New(nil)
+	_ = fs.Create("/a")
+	if err := fs.MkdirAll("/a/b"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("err = %v, want ErrNotDir", err)
+	}
+}
+
+func TestPathNormalization(t *testing.T) {
+	fs := New(nil)
+	if err := fs.Create("runs//f1/./out.63"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/runs/f1/out.63") {
+		t.Fatal("normalized path not found")
+	}
+}
+
+// Property: TreeSize equals the sum of appended bytes regardless of the
+// directory layout the appends land in.
+func TestPropertyTreeSizeConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		fs := New(nil)
+		var total int64
+		for i, s := range sizes {
+			p := "/d"
+			switch i % 3 {
+			case 0:
+				p += "/x/f"
+			case 1:
+				p += "/y/f"
+			case 2:
+				p += "/f"
+			}
+			p += string(rune('a' + i%7))
+			if err := fs.Append(p, int64(s)); err != nil {
+				return false
+			}
+			total += int64(s)
+		}
+		return fs.TreeSize("/d") == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package workflow
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTopoSortLinearChain(t *testing.T) {
+	d := NewDAG()
+	d.AddEdge("a", "b")
+	d.AddEdge("b", "c")
+	order, err := d.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "a,b,c" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTopoSortTieBreaksByName(t *testing.T) {
+	d := NewDAG()
+	d.AddNode("z")
+	d.AddNode("a")
+	d.AddNode("m")
+	order, err := d.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "a,m,z" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTopoSortDiamond(t *testing.T) {
+	d := NewDAG()
+	d.AddEdge("root", "left")
+	d.AddEdge("root", "right")
+	d.AddEdge("left", "sink")
+	d.AddEdge("right", "sink")
+	order, err := d.TopoSort()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	if pos["root"] != 0 || pos["sink"] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	d := NewDAG()
+	d.AddEdge("a", "b")
+	d.AddEdge("b", "c")
+	d.AddEdge("c", "a")
+	if err := d.Validate(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestSelfLoopDetected(t *testing.T) {
+	d := NewDAG()
+	d.AddEdge("a", "a")
+	if err := d.Validate(); err == nil {
+		t.Fatal("self-loop not detected")
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	d := NewDAG()
+	d.AddEdge("a", "b")
+	d.AddEdge("a", "b")
+	if got := d.Preds("b"); len(got) != 1 || got[0] != "a" {
+		t.Fatalf("Preds(b) = %v", got)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	d := NewDAG()
+	d.AddEdge("b", "a")
+	d.AddNode("c")
+	if strings.Join(d.Nodes(), ",") != "a,b,c" {
+		t.Fatalf("Nodes = %v", d.Nodes())
+	}
+}
+
+// Property: a topological order places every node after all of its
+// predecessors, for random DAGs built with forward edges only.
+func TestPropertyTopoRespectsEdges(t *testing.T) {
+	f := func(edges []uint16) bool {
+		d := NewDAG()
+		names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		for _, e := range edges {
+			u := int(e) % len(names)
+			v := int(e>>4) % len(names)
+			if u < v { // forward edges only → acyclic
+				d.AddEdge(names[u], names[v])
+			} else if u != v {
+				d.AddNode(names[u])
+			}
+		}
+		order, err := d.TopoSort()
+		if err != nil {
+			return false
+		}
+		pos := map[string]int{}
+		for i, n := range order {
+			pos[n] = i
+		}
+		for _, n := range d.Nodes() {
+			for _, p := range d.Preds(n) {
+				if pos[p] >= pos[n] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+package workflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/forecast"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// ProductConfig drives a standalone product engine: the master process of
+// Figure 4/5, decoupled from the simulation so product generation can run
+// at the compute node, at the public server, or partitioned across
+// several secondary nodes (the §2.2 option the paper plans to revisit).
+type ProductConfig struct {
+	// Products is the (subset of the) catalog this engine computes.
+	Products []forecast.ProductSpec
+	// Dir is the run directory whose outputs/ the engine watches and
+	// whose products/ and process/ it writes.
+	Dir string
+	// Node executes the product tasks; FS is where inputs are observed
+	// and products written.
+	Node *cluster.Node
+	FS   *vfs.FS
+	// InputTotals gives the exact final size of each model-output file
+	// (by file name), so the engine knows when a product has consumed
+	// everything.
+	InputTotals map[string]int64
+	Workers     int
+	Poll        float64
+	// WorkFactor scales product task cost (co-location interference).
+	WorkFactor float64
+	OnDone     func()
+}
+
+// ProductEngine incrementally computes data products as model-output
+// bytes appear in its filesystem.
+type ProductEngine struct {
+	cfg       ProductConfig
+	eng       *sim.Engine
+	products  []*productState
+	byName    map[string]*productState
+	active    int
+	rrCursor  int
+	pollTimer *sim.Timer
+	finished  bool
+	aborted   bool
+	endTime   float64
+}
+
+// StartProducts launches a product engine. It panics on invalid
+// configuration.
+func StartProducts(eng *sim.Engine, cfg ProductConfig) *ProductEngine {
+	if cfg.Node == nil || cfg.FS == nil {
+		panic("workflow: StartProducts needs a node and filesystem")
+	}
+	if cfg.Dir == "" {
+		panic("workflow: StartProducts needs a run directory")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultPoll
+	}
+	if cfg.WorkFactor <= 0 {
+		cfg.WorkFactor = 1
+	}
+	p := &ProductEngine{
+		cfg:    cfg,
+		eng:    eng,
+		byName: make(map[string]*productState, len(cfg.Products)),
+	}
+	for _, spec := range cfg.Products {
+		st := &productState{spec: spec}
+		for _, in := range spec.Inputs {
+			total, ok := cfg.InputTotals[in]
+			if !ok {
+				panic(fmt.Sprintf("workflow: product %q reads %q with unknown total", spec.Name, in))
+			}
+			st.totalIn += float64(total)
+		}
+		p.products = append(p.products, st)
+		p.byName[spec.Name] = st
+	}
+	if len(p.products) == 0 {
+		p.finish()
+		return p
+	}
+	p.pollTimer = eng.After(cfg.Poll, p.poll)
+	return p
+}
+
+// Finished reports whether every product is complete.
+func (p *ProductEngine) Finished() bool { return p.finished }
+
+// FinishedAt returns the completion time (0 if unfinished).
+func (p *ProductEngine) FinishedAt() float64 { return p.endTime }
+
+// Abort cancels future work; OnDone is not called.
+func (p *ProductEngine) Abort() {
+	if p.finished || p.aborted {
+		return
+	}
+	p.aborted = true
+	if p.pollTimer != nil {
+		p.pollTimer.Cancel()
+		p.pollTimer = nil
+	}
+}
+
+// OutputPath returns a model-output path in the engine's run directory.
+func (p *ProductEngine) OutputPath(name string) string {
+	return p.cfg.Dir + "/outputs/" + name
+}
+
+// ProductPath returns a product's data path.
+func (p *ProductEngine) ProductPath(name string) string {
+	return p.cfg.Dir + "/products/" + name + "/data"
+}
+
+// processPath is the master process's log file.
+func (p *ProductEngine) processPath() string { return p.cfg.Dir + "/process/master.out" }
+
+// ConsumedFraction reports the named product's progress in [0, 1], or -1
+// for an unknown product.
+func (p *ProductEngine) ConsumedFraction(name string) float64 {
+	st, ok := p.byName[name]
+	if !ok {
+		return -1
+	}
+	return st.consumedFraction()
+}
+
+// availableFraction returns how much of a product's total input is ready
+// to process. A product reading several model-output files consumes each
+// file's increments independently (day-1 salinity is processed while
+// day-2 is still being simulated), so availability aggregates bytes
+// across inputs; dependencies gate the whole product.
+func (p *ProductEngine) availableFraction(st *productState) float64 {
+	frac := 1.0
+	if len(st.spec.Inputs) > 0 {
+		var avail, total float64
+		for _, in := range st.spec.Inputs {
+			t := float64(p.cfg.InputTotals[in])
+			a := float64(p.cfg.FS.Size(p.OutputPath(in)))
+			if a > t {
+				a = t
+			}
+			avail += a
+			total += t
+		}
+		if total > 0 {
+			frac = avail / total
+		}
+	}
+	for _, dep := range st.spec.DependsOn {
+		d, ok := p.byName[dep]
+		if !ok {
+			// Dependency computed by another partition: no local gating.
+			continue
+		}
+		if f := d.consumedFraction(); f < frac {
+			frac = f
+		}
+	}
+	return frac
+}
+
+func (p *ProductEngine) poll() {
+	p.pollTimer = nil
+	if p.aborted || p.finished {
+		return
+	}
+	p.dispatch()
+	if !p.finished && !p.aborted {
+		p.pollTimer = p.eng.After(p.cfg.Poll, p.poll)
+	}
+}
+
+func (p *ProductEngine) dispatch() {
+	n := len(p.products)
+	for p.active < p.cfg.Workers {
+		dispatched := false
+		for i := 0; i < n; i++ {
+			st := p.products[(p.rrCursor+i)%n]
+			if st.active {
+				continue
+			}
+			avail := p.availableFraction(st) * st.totalIn
+			pending := avail - st.consumed
+			if pending <= 1 {
+				continue
+			}
+			p.rrCursor = (p.rrCursor + i + 1) % n
+			p.startTask(st, pending)
+			dispatched = true
+			break
+		}
+		if !dispatched {
+			return
+		}
+	}
+}
+
+func (p *ProductEngine) startTask(st *productState, bytes float64) {
+	cpuPerMB, ratio := st.spec.Class.Profile()
+	work := p.cfg.WorkFactor * cpuPerMB * st.spec.Scale * bytes / 1e6
+	st.active = true
+	st.dispatched = bytes
+	p.active++
+	p.cfg.Node.Submit("prod:"+st.spec.Name, work, func() {
+		if p.aborted {
+			return
+		}
+		st.active = false
+		st.consumed += st.dispatched
+		p.active--
+		outBytes := int64(math.Round(ratio * st.spec.Scale * st.dispatched))
+		if outBytes > 0 {
+			st.outWritten += outBytes
+			if err := p.cfg.FS.Append(p.ProductPath(st.spec.Name), outBytes); err != nil {
+				panic(fmt.Sprintf("workflow: append product: %v", err))
+			}
+		}
+		if err := p.cfg.FS.Append(p.processPath(), 4096); err != nil {
+			panic(fmt.Sprintf("workflow: append process log: %v", err))
+		}
+		st.dispatched = 0
+		p.dispatch()
+		p.checkDone()
+	})
+}
+
+func (p *ProductEngine) checkDone() {
+	if p.finished || p.aborted {
+		return
+	}
+	for _, st := range p.products {
+		if st.active || st.totalIn-st.consumed > 1 {
+			return
+		}
+	}
+	p.finish()
+}
+
+func (p *ProductEngine) finish() {
+	p.finished = true
+	p.endTime = p.eng.Now()
+	if p.pollTimer != nil {
+		p.pollTimer.Cancel()
+		p.pollTimer = nil
+	}
+	if p.cfg.OnDone != nil {
+		p.cfg.OnDone()
+	}
+}
