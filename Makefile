@@ -1,0 +1,32 @@
+# Build and verification entry points. `make check` is the full gate:
+# the tier-1 suite (ROADMAP.md) plus static analysis and the race
+# detector over every package.
+
+GO ?= go
+
+.PHONY: all build test check vet race bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier-1: what every change must keep green.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The telemetry registry and tracer accept concurrent writers; the race
+# detector is the test that proves it.
+race:
+	$(GO) test -race ./...
+
+check: test vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx .
+
+clean:
+	$(GO) clean ./...

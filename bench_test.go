@@ -8,7 +8,9 @@ package repro_test
 
 import (
 	"fmt"
+	"math"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataflow"
@@ -16,6 +18,7 @@ import (
 	"repro/internal/factory"
 	"repro/internal/forecast"
 	"repro/internal/ondemand"
+	"repro/internal/telemetry"
 )
 
 // reportComparisons attaches an experiment's paper-vs-measured rows as
@@ -298,36 +301,91 @@ func BenchmarkOnDemandPolicies(b *testing.B) {
 	}
 }
 
+// paperScaleConfig builds the paper-scale campaign (10 forecasts, 6
+// nodes) used by the campaign-cost and telemetry-overhead benchmarks.
+func paperScaleConfig(days int, tel *telemetry.Telemetry) factory.Config {
+	specs := []*forecast.Spec{
+		forecast.Tillamook(),
+		forecast.NewSpec("forecast-columbia", "columbia", 5760, 28000, 8),
+		forecast.NewSpec("forecast-yaquina", "yaquina", 4320, 20000, 6),
+		forecast.NewSpec("forecast-newport", "newport", 4320, 18000, 6),
+		forecast.NewSpec("forecast-coos-bay", "coos-bay", 3600, 18000, 6),
+		forecast.NewSpec("forecast-willapa", "willapa", 3600, 16000, 6),
+		forecast.NewSpec("forecast-grays", "grays-harbor", 2880, 16000, 4),
+		forecast.NewSpec("forecast-nehalem", "nehalem", 2880, 14000, 4),
+		forecast.NewSpec("forecast-umpqua", "umpqua", 2880, 12000, 4),
+		forecast.Dev(),
+	}
+	nodes := factory.DefaultNodes()
+	assignments := make([]factory.Assignment, len(specs))
+	for i, s := range specs {
+		assignments[i] = factory.Assignment{Spec: s, Node: nodes[i%len(nodes)].Name}
+	}
+	return factory.Config{Days: days, Nodes: nodes, Forecasts: assignments, Telemetry: tel}
+}
+
+// runCampaign executes one campaign and returns nothing; shared by the
+// benchmark and the overhead test.
+func runCampaign(tb testing.TB, days int, tel *telemetry.Telemetry) {
+	c, err := factory.New(paperScaleConfig(days, tel))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c.Run()
+}
+
 // BenchmarkCampaignDay measures the simulator's cost per factory day at
 // the paper's scale (10 forecasts, 6 nodes).
 func BenchmarkCampaignDay(b *testing.B) {
-	mkConfig := func(days int) factory.Config {
-		specs := []*forecast.Spec{
-			forecast.Tillamook(),
-			forecast.NewSpec("forecast-columbia", "columbia", 5760, 28000, 8),
-			forecast.NewSpec("forecast-yaquina", "yaquina", 4320, 20000, 6),
-			forecast.NewSpec("forecast-newport", "newport", 4320, 18000, 6),
-			forecast.NewSpec("forecast-coos-bay", "coos-bay", 3600, 18000, 6),
-			forecast.NewSpec("forecast-willapa", "willapa", 3600, 16000, 6),
-			forecast.NewSpec("forecast-grays", "grays-harbor", 2880, 16000, 4),
-			forecast.NewSpec("forecast-nehalem", "nehalem", 2880, 14000, 4),
-			forecast.NewSpec("forecast-umpqua", "umpqua", 2880, 12000, 4),
-			forecast.Dev(),
-		}
-		nodes := factory.DefaultNodes()
-		assignments := make([]factory.Assignment, len(specs))
-		for i, s := range specs {
-			assignments[i] = factory.Assignment{Spec: s, Node: nodes[i%len(nodes)].Name}
-		}
-		return factory.Config{Days: days, Nodes: nodes, Forecasts: assignments}
-	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c, err := factory.New(mkConfig(5))
-		if err != nil {
-			b.Fatal(err)
-		}
-		c.Run()
+		runCampaign(b, 5, nil)
 	}
 	b.ReportMetric(5, "virtual_days")
+}
+
+// BenchmarkCampaignDayTelemetry measures the same campaign with full
+// metric and span collection on; compare against BenchmarkCampaignDay for
+// the exact overhead ratio on this machine.
+func BenchmarkCampaignDayTelemetry(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runCampaign(b, 5, telemetry.New())
+	}
+	b.ReportMetric(5, "virtual_days")
+}
+
+// TestTelemetryOverhead guards the design target that full collection
+// (nil-safe cached instruments, one span per task) costs on the order of
+// 5% of a campaign. The assertion uses best-of-N timings and a bound of
+// 25% so a loaded CI machine doesn't flake the suite; run the two
+// CampaignDay benchmarks for the precise ratio.
+func TestTelemetryOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	const rounds = 5
+	best := func(tel func() *telemetry.Telemetry) time.Duration {
+		min := time.Duration(math.MaxInt64)
+		for i := 0; i < rounds; i++ {
+			start := time.Now()
+			runCampaign(t, 3, tel())
+			if d := time.Since(start); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	// Interleave a warm-up of each variant so allocator state is comparable.
+	runCampaign(t, 1, nil)
+	runCampaign(t, 1, telemetry.New())
+
+	baseline := best(func() *telemetry.Telemetry { return nil })
+	instrumented := best(func() *telemetry.Telemetry { return telemetry.New() })
+	ratio := float64(instrumented) / float64(baseline)
+	t.Logf("baseline %v, instrumented %v, ratio %.3f", baseline, instrumented, ratio)
+	if ratio > 1.25 {
+		t.Fatalf("telemetry overhead ratio %.3f exceeds bound 1.25 (baseline %v, instrumented %v)",
+			ratio, baseline, instrumented)
+	}
 }

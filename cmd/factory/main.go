@@ -5,18 +5,21 @@
 // Usage:
 //
 //	factory [-scenario fig8|fig9|growth] [-config file.json] [-forecast name]
-//	        [-days n] [-snapshot hours]
+//	        [-days n] [-snapshot hours] [-metrics-out file] [-trace-out file]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/config"
 	"repro/internal/factory"
 	"repro/internal/logs"
+	"repro/internal/plot"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -25,6 +28,8 @@ func main() {
 	days := flag.Int("days", 0, "override the number of days simulated")
 	snapshotAt := flag.Float64("snapshot", 0, "pause at this many hours into the campaign and show the factory monitor")
 	configPath := flag.String("config", "", "load the campaign from a JSON factory description instead of a built-in scenario")
+	metricsOut := flag.String("metrics-out", "", "write campaign metrics in Prometheus text format to this file")
+	traceOut := flag.String("trace-out", "", "write the campaign trace as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	var cfg factory.Config
@@ -83,6 +88,12 @@ func main() {
 		fmt.Printf("  event: %s\n", e)
 	}
 
+	var tel *telemetry.Telemetry
+	if *metricsOut != "" || *traceOut != "" {
+		tel = telemetry.New()
+		cfg.Telemetry = tel
+	}
+
 	c, err := factory.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -139,6 +150,59 @@ func main() {
 	for _, n := range c.Cluster().Nodes() {
 		fmt.Printf("  %-10s %5.1f%%\n", n.Name(), 100*n.Utilization())
 	}
+
+	if *metricsOut != "" {
+		if err := writeTo(*metricsOut, tel.Registry().WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmetrics written to %s\n", *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := writeTo(*traceOut, tel.Trace().WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s (%d spans; open in chrome://tracing)\n",
+			*traceOut, tel.Trace().Len())
+		// The trace doubles as the data source for the ForeMan Gantt view:
+		// render the last day's run spans as executed.
+		spans := tel.Trace().Spans()
+		bars := plot.GanttFromSpans(spans, "run")
+		if len(bars) > 0 {
+			lastDay := 0.0
+			for _, b := range bars {
+				if b.Start > lastDay {
+					lastDay = b.Start
+				}
+			}
+			dayStart := float64(int(lastDay/86400)) * 86400
+			var dayBars []plot.GanttBar
+			for _, b := range bars {
+				if b.Start >= dayStart {
+					b.Start -= dayStart
+					b.End -= dayStart
+					dayBars = append(dayBars, b)
+				}
+			}
+			g := plot.Gantt{Title: "last day as executed (from trace spans)", Bars: dayBars, Width: 72}
+			fmt.Println()
+			fmt.Print(g.Render())
+		}
+	}
+}
+
+// writeTo writes one exporter's output to a file.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func nodesOf(cfg factory.Config) []factory.NodeSpec {

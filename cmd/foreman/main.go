@@ -10,14 +10,17 @@
 //
 //	foreman [-heuristic stay-put|ffd|bfd|wfd] [-fail node] [-policy minimal|reshuffle]
 //	        [-move run=node] [-scripts] [-hindcast n] [-sql query] [-now hour]
+//	        [-metrics-out file] [-trace-out file]
 //
 // The -sql flag accepts the statsdb SELECT subset, including JOINs against
-// the nodes table and EXPLAIN.
+// the nodes table and EXPLAIN; the bootstrap campaign's trace spans are
+// loaded into a "spans" table queryable the same way.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -28,6 +31,7 @@ import (
 	"repro/internal/logs"
 	"repro/internal/plot"
 	"repro/internal/statsdb"
+	"repro/internal/telemetry"
 )
 
 // plantSpecs builds the paper's ten daily forecasts.
@@ -77,6 +81,8 @@ func main() {
 	nowHour := flag.Float64("now", 9, "current time of day (hours) for the Gantt marker")
 	bootstrapDays := flag.Int("bootstrap", 3, "days of history to simulate before planning")
 	hindcasts := flag.Int("hindcast", 0, "backfill this many hindcast jobs into idle capacity")
+	metricsOut := flag.String("metrics-out", "", "write bootstrap + planner metrics in Prometheus text format to this file")
+	traceOut := flag.String("trace-out", "", "write the bootstrap + planner trace as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	h, ok := heuristicByName(*heuristicFlag)
@@ -93,10 +99,21 @@ func main() {
 	for i, s := range specs {
 		assignments[i] = factory.Assignment{Spec: s, Node: nodeSpecs[i%len(nodeSpecs)].Name}
 	}
+	// -sql turns collection on too: the bootstrap trace becomes the
+	// "spans" table, queryable whether or not an export file was asked
+	// for.
+	var tel *telemetry.Telemetry
+	if *metricsOut != "" || *traceOut != "" || *sqlFlag != "" {
+		tel = telemetry.New()
+		core.SetTelemetry(tel)
+		defer core.SetTelemetry(nil)
+	}
+
 	campaign, err := factory.New(factory.Config{
 		Days:      *bootstrapDays,
 		Nodes:     nodeSpecs,
 		Forecasts: assignments,
+		Telemetry: tel,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -115,7 +132,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if tel != nil {
+		// The bootstrap trace is queryable alongside the run records.
+		if _, err := statsdb.LoadSpans(db, tel.Trace().Spans()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *sqlFlag != "" {
+		defer flushTelemetry(tel, *metricsOut, *traceOut)
 		res, err := db.Query(*sqlFlag)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -139,6 +164,13 @@ func main() {
 	}
 	estimator := core.NewEstimator(records, nodes)
 	runs := estimator.PlanRuns(specs, nodes)
+
+	// Replay the estimator against history: how far off would ForeMan's
+	// predictions have been for the runs we already know the answer to?
+	acc := core.EvaluateEstimates(records, nodes)
+	if len(acc.Samples) > 0 {
+		fmt.Printf("estimate accuracy: MAPE %.2f%% over %d replayed runs\n", acc.MAPE, len(acc.Samples))
+	}
 
 	schedule, err := core.BuildSchedule(nodes, runs, core.ScheduleOptions{Heuristic: h, AllowDrop: true})
 	if err != nil {
@@ -234,4 +266,42 @@ func main() {
 		fmt.Println()
 		fmt.Print(core.RenderScripts(scripts))
 	}
+
+	flushTelemetry(tel, *metricsOut, *traceOut)
+}
+
+// flushTelemetry writes the telemetry exports requested on the command
+// line (no-op when telemetry is disabled).
+func flushTelemetry(tel *telemetry.Telemetry, metricsOut, traceOut string) {
+	if tel == nil {
+		return
+	}
+	if metricsOut != "" {
+		if err := writeTo(metricsOut, tel.Registry().WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nmetrics written to %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		if err := writeTo(traceOut, tel.Trace().WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace written to %s (%d spans; open in chrome://tracing)\n",
+			traceOut, tel.Trace().Len())
+	}
+}
+
+// writeTo writes one exporter's output to a file.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/logs"
+	"repro/internal/telemetry"
+)
+
+// accRecord is histRecord (estimate_test.go) with the mesh/timestep/code
+// parameters held fixed, so only walltime and placement vary.
+func accRecord(forecast string, day int, wall float64, node string) *logs.RunRecord {
+	return histRecord(forecast, day, wall, node, 5760, 30000, 1)
+}
+
+func TestEvaluateEstimatesReplaysHistory(t *testing.T) {
+	nodes := []NodeInfo{{Name: "n1", CPUs: 2, Speed: 1}, {Name: "n2", CPUs: 2, Speed: 0.5}}
+	records := []*logs.RunRecord{
+		// f stays on n1 with identical parameters: days 2 and 3 estimate
+		// exactly from the preceding day.
+		accRecord("f", 1, 40000, "n1"),
+		accRecord("f", 2, 40000, "n1"),
+		// Day 3 moved to the half-speed node, so the actual doubles; the
+		// estimator knows the speeds and still predicts it exactly.
+		accRecord("f", 3, 80000, "n2"),
+		// Day 4 back on n1, but 10% slower than history predicts.
+		accRecord("f", 4, 44000, "n1"),
+		// A single-record forecast yields no replayable sample.
+		accRecord("lonely", 1, 1000, "n1"),
+	}
+	acc := EvaluateEstimates(records, nodes)
+	if len(acc.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(acc.Samples))
+	}
+	for i, wantErr := range []float64{0, 0, 100.0 / 11.0} {
+		s := acc.Samples[i]
+		if math.Abs(s.AbsPctError()-wantErr) > 1e-9 {
+			t.Fatalf("sample %d (day %d): error %.4f%%, want %.4f%%", i, s.Day, s.AbsPctError(), wantErr)
+		}
+	}
+	wantMAPE := (100.0 / 11.0) / 3
+	if math.Abs(acc.MAPE-wantMAPE) > 1e-9 {
+		t.Fatalf("MAPE = %v, want %v", acc.MAPE, wantMAPE)
+	}
+}
+
+func TestEvaluateEstimatesFeedsRegistry(t *testing.T) {
+	tel := telemetry.New()
+	SetTelemetry(tel)
+	defer SetTelemetry(nil)
+
+	nodes := []NodeInfo{{Name: "n1", CPUs: 2, Speed: 1}}
+	records := []*logs.RunRecord{
+		accRecord("f", 1, 40000, "n1"),
+		accRecord("f", 2, 42000, "n1"),
+	}
+	EvaluateEstimates(records, nodes)
+
+	reg := tel.Registry()
+	lbl := telemetry.Labels{"forecast": "f", "day": "2"}
+	if v := reg.Gauge("core_estimate_predicted_seconds", lbl).Value(); v != 40000 {
+		t.Fatalf("predicted gauge = %v, want 40000", v)
+	}
+	if v := reg.Gauge("core_estimate_actual_seconds", lbl).Value(); v != 42000 {
+		t.Fatalf("actual gauge = %v, want 42000", v)
+	}
+	if n := reg.Histogram("core_estimate_abs_pct_error", pctErrorBuckets, nil).Count(); n != 1 {
+		t.Fatalf("error histogram count = %d, want 1", n)
+	}
+}
+
+func TestPlannerTelemetryCounters(t *testing.T) {
+	tel := telemetry.New()
+	SetTelemetry(tel)
+	defer SetTelemetry(nil)
+
+	nodes := []NodeInfo{{Name: "n1", CPUs: 2, Speed: 1}, {Name: "n2", CPUs: 2, Speed: 1}}
+	runs := []Run{
+		{Name: "a", Work: 1000, Deadline: 86400},
+		{Name: "b", Work: 2000, Deadline: 86400},
+	}
+	if _, err := BuildSchedule(nodes, runs, ScheduleOptions{Heuristic: FirstFitDecreasing}); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := tel.Registry()
+	if v := reg.Counter("core_planner_invocations_total",
+		telemetry.Labels{"pass": "schedule", "heuristic": "first-fit-decreasing"}).Value(); v != 1 {
+		t.Fatalf("schedule invocations = %v, want 1", v)
+	}
+	if v := reg.Counter("core_planner_invocations_total",
+		telemetry.Labels{"pass": "pack", "heuristic": "first-fit-decreasing"}).Value(); v != 1 {
+		t.Fatalf("pack invocations = %v, want 1", v)
+	}
+	if v := reg.Counter("core_pack_iterations_total", nil).Value(); v <= 0 {
+		t.Fatalf("pack iterations = %v, want > 0", v)
+	}
+	// Planner spans were recorded under the "planner" track.
+	foundPack := false
+	for _, s := range tel.Trace().Spans() {
+		if s.Cat == "planner" && s.Name == "pack:first-fit-decreasing" {
+			foundPack = true
+			if s.Args["runs"] != "2" {
+				t.Fatalf("pack span args = %v, want runs=2", s.Args)
+			}
+		}
+	}
+	if !foundPack {
+		t.Fatal("no pack span recorded")
+	}
+}

@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
+
+	"repro/internal/telemetry"
 )
 
 // Heuristic selects a node-assignment strategy. The paper's ForeMan
@@ -49,6 +52,21 @@ func (h Heuristic) String() string {
 // is the predictor's job — callers should Predict and, if needed, repair
 // with delay/drop policies.
 func Pack(nodes []NodeInfo, runs []Run, h Heuristic) (map[string]string, error) {
+	iters := 0
+	if t := plannerTelemetry(); t != nil {
+		reg := t.Registry()
+		reg.Describe("core_planner_invocations_total", "Planner passes executed, by pass and heuristic.")
+		reg.Describe("core_pack_iterations_total", "Bin-packing fit evaluations across all Pack calls.")
+		reg.Counter("core_planner_invocations_total",
+			telemetry.Labels{"pass": "pack", "heuristic": h.String()}).Inc()
+		span := t.Trace().Begin("planner", "pack:"+h.String(), "planner", nil)
+		defer func() {
+			reg.Counter("core_pack_iterations_total", nil).Add(float64(iters))
+			span.SetArg("iterations", strconv.Itoa(iters))
+			span.SetArg("runs", strconv.Itoa(len(runs)))
+			span.EndSpan()
+		}()
+	}
 	plan := &Plan{Nodes: nodes, Runs: runs, Assign: map[string]string{}}
 	if err := plan.Validate(); err != nil {
 		return nil, err
@@ -72,6 +90,7 @@ func Pack(nodes []NodeInfo, runs []Run, h Heuristic) (map[string]string, error) 
 		load[node.Name] += r.Work
 	}
 	leastLoaded := func() NodeInfo {
+		iters += len(up)
 		best := up[0]
 		bestLoad := load[best.Name] / best.Capacity()
 		for _, n := range up[1:] {
@@ -85,6 +104,7 @@ func Pack(nodes []NodeInfo, runs []Run, h Heuristic) (map[string]string, error) 
 	// window after placing the run; negative means the window is
 	// over-committed.
 	slack := func(r Run, n NodeInfo) float64 {
+		iters++
 		window := r.Deadline - r.Start
 		if r.Deadline <= 0 {
 			window = 86400 - r.Start

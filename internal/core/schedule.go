@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
+
+	"repro/internal/telemetry"
 )
 
 // ScheduleOptions configures BuildSchedule.
@@ -33,6 +36,14 @@ func (s *Schedule) Feasible() bool { return s.Prediction.Feasible(s.Plan) }
 // when allowed — drops the lowest-priority runs until the remainder is
 // feasible.
 func BuildSchedule(nodes []NodeInfo, runs []Run, opts ScheduleOptions) (*Schedule, error) {
+	var span *telemetry.Span
+	if t := plannerTelemetry(); t != nil {
+		t.Registry().Describe("core_planner_invocations_total", "Planner passes executed, by pass and heuristic.")
+		t.Registry().Counter("core_planner_invocations_total",
+			telemetry.Labels{"pass": "schedule", "heuristic": opts.Heuristic.String()}).Inc()
+		span = t.Trace().Begin("planner", "schedule:"+opts.Heuristic.String(), "planner", nil)
+	}
+	defer span.EndSpan()
 	assign, err := Pack(nodes, runs, opts.Heuristic)
 	if err != nil {
 		return nil, err
@@ -55,6 +66,7 @@ func BuildSchedule(nodes []NodeInfo, runs []Run, opts ScheduleOptions) (*Schedul
 			break
 		}
 		s.drop(victim)
+		span.SetArg("dropped", strconv.Itoa(len(s.Dropped)))
 		if err := s.repredict(); err != nil {
 			return nil, err
 		}

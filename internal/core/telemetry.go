@@ -1,0 +1,24 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// telSink is the package-level telemetry sink. Pack and BuildSchedule are
+// free functions, so unlike the factory there is no object to hang cached
+// instruments on; foreman installs a sink once at startup instead.
+var telSink atomic.Pointer[telemetry.Telemetry]
+
+// SetTelemetry installs the telemetry sink used by the planner's free
+// functions (Pack, BuildSchedule, EvaluateEstimates). Pass nil to detach.
+// Safe to call concurrently with running planners.
+func SetTelemetry(t *telemetry.Telemetry) {
+	telSink.Store(t)
+}
+
+// plannerTelemetry returns the current sink (nil when detached).
+func plannerTelemetry() *telemetry.Telemetry {
+	return telSink.Load()
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/forecast"
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 	"repro/internal/workflow"
 )
@@ -73,6 +74,10 @@ type Params struct {
 
 	// SampleInterval is the spacing of series samples (default 60 s).
 	SampleInterval float64
+
+	// Telemetry, when non-nil, receives link/workflow metrics and an
+	// experiment span tree (experiment → simulation/product/transfer).
+	Telemetry *telemetry.Telemetry
 }
 
 // DefaultWatch is the five series plotted in Figures 6 and 7.
@@ -178,6 +183,16 @@ func Run(arch Architecture, p Params) Result {
 	serverFS := vfs.New(eng.Now)
 	link := netsim.NewLink(eng, "lan", p.Bandwidth)
 
+	tel := p.Telemetry
+	tel.SetClock(eng.Now)
+	eng.Instrument(tel.Registry())
+	link.Instrument(tel)
+	var expSpan *telemetry.Span
+	if tel != nil {
+		expSpan = tel.Trace().Begin("experiment",
+			fmt.Sprintf("arch%d:%s", int(arch), p.Spec.Name), "dataflow", nil)
+	}
+
 	dir := "/runs/" + p.Spec.Name + "/day1"
 	cfg := workflow.Config{
 		Spec:       p.Spec,
@@ -187,6 +202,8 @@ func Run(arch Architecture, p Params) Result {
 		Increments: p.Increments,
 		Workers:    p.Workers,
 		Poll:       p.Poll,
+		Telemetry:  tel,
+		Span:       expSpan,
 	}
 	switch arch {
 	case Architecture1:
@@ -272,6 +289,17 @@ func Run(arch Architecture, p Params) Result {
 	if arch == Architecture2 && run.FinishedAt() > res.EndToEnd {
 		res.EndToEnd = run.FinishedAt()
 	}
+
+	if reg := tel.Registry(); reg != nil {
+		al := telemetry.Labels{"arch": fmt.Sprintf("%d", int(arch))}
+		reg.Describe("dataflow_bytes_over_link", "Bytes rsync moved to the server, by architecture.")
+		reg.Describe("dataflow_total_bytes", "Total run data generated, by architecture.")
+		reg.Describe("dataflow_end_to_end_seconds", "Time until all run data is resident at the server, by architecture.")
+		reg.Gauge("dataflow_bytes_over_link", al).Set(res.BytesOverLink)
+		reg.Gauge("dataflow_total_bytes", al).Set(res.TotalBytes)
+		reg.Gauge("dataflow_end_to_end_seconds", al).Set(res.EndToEnd)
+	}
+	expSpan.EndSpan()
 
 	// Normalize series by their final sizes.
 	names := make([]string, 0, len(samples))

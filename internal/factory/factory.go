@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/forecast"
 	"repro/internal/logs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 	"repro/internal/workflow"
 )
@@ -73,6 +75,11 @@ type Config struct {
 	// commands into the run scripts to update the database", which keeps
 	// statistics on currently running forecasts accurate.
 	OnRunLog func(*logs.RunRecord)
+
+	// Telemetry, when non-nil, collects campaign metrics and the span
+	// hierarchy campaign → day → run → {simulation, product task}. The
+	// campaign installs its engine clock on the tracer.
+	Telemetry *telemetry.Telemetry
 }
 
 // Assignment binds a forecast spec to a node.
@@ -113,6 +120,14 @@ type Campaign struct {
 	active      map[string]*workflow.Run
 	inputDelays map[string]float64 // per-forecast, today only
 	prepared    bool
+
+	// Telemetry wiring (all nil when cfg.Telemetry is nil).
+	campaignSpan *telemetry.Span
+	daySpan      *telemetry.Span
+	runSpans     map[string]*telemetry.Span // keyed like active
+	mActiveRuns  *telemetry.Gauge
+	mCarryOver   *telemetry.Gauge
+	mWalltimes   *telemetry.Histogram
 }
 
 // New validates the config and builds a campaign.
@@ -144,6 +159,21 @@ func New(cfg Config) (*Campaign, error) {
 		events:      make(map[int][]Event),
 		active:      make(map[string]*workflow.Run),
 		inputDelays: make(map[string]float64),
+	}
+	if tel := cfg.Telemetry; tel != nil {
+		tel.SetClock(eng.Now)
+		reg := tel.Registry()
+		eng.Instrument(reg)
+		reg.Describe("factory_launches_total", "Forecast runs launched, by forecast.")
+		reg.Describe("factory_runs_completed_total", "Forecast runs completed, by forecast.")
+		reg.Describe("factory_events_applied_total", "Day-keyed configuration events applied, by event type.")
+		reg.Describe("factory_active_runs", "Runs currently executing.")
+		reg.Describe("factory_wip_carryover", "Runs still executing at midnight — the WIP carry-over of §4.3.1.")
+		reg.Describe("factory_run_walltime_seconds", "Completed run walltimes.")
+		c.runSpans = make(map[string]*telemetry.Span)
+		c.mActiveRuns = reg.Gauge("factory_active_runs", nil)
+		c.mCarryOver = reg.Gauge("factory_wip_carryover", nil)
+		c.mWalltimes = reg.Histogram("factory_run_walltime_seconds", nil, nil)
 	}
 	for _, ns := range cfg.Nodes {
 		c.cluster.AddNode(ns.Name, ns.CPUs, ns.Speed)
@@ -182,6 +212,9 @@ func (c *Campaign) FS() *vfs.FS { return c.fs }
 // Cluster exposes the campaign's cluster.
 func (c *Campaign) Cluster() *cluster.Cluster { return c.cluster }
 
+// Telemetry exposes the campaign's telemetry (nil when not configured).
+func (c *Campaign) Telemetry() *telemetry.Telemetry { return c.cfg.Telemetry }
+
 // Spec returns the current spec of a forecast (nil if absent).
 func (c *Campaign) Spec(name string) *forecast.Spec { return c.specs[name] }
 
@@ -209,6 +242,12 @@ func (c *Campaign) Prepare() {
 		return
 	}
 	c.prepared = true
+	if tel := c.cfg.Telemetry; tel != nil {
+		c.campaignSpan = tel.Trace().Begin("campaign",
+			fmt.Sprintf("campaign-%d", c.cfg.Year), "factory", nil)
+		c.campaignSpan.SetArg("days", fmt.Sprint(c.cfg.Days))
+		c.campaignSpan.SetArg("forecasts", fmt.Sprint(len(c.order)))
+	}
 	lastDay := c.cfg.StartDay + c.cfg.Days - 1
 	for day := c.cfg.StartDay; day <= lastDay; day++ {
 		day := day
@@ -224,6 +263,14 @@ func (c *Campaign) Finish() []RunResult {
 	// Let still-running work drain, then stop.
 	deadline := c.dayTime(lastDay+1) + float64(c.cfg.DrainDays)*SecondsPerDay
 	c.eng.RunUntil(deadline)
+
+	if tel := c.cfg.Telemetry; tel != nil {
+		c.daySpan.EndSpan()
+		c.campaignSpan.EndSpan()
+		// Interrupted runs keep their observed extent in the trace.
+		tel.Trace().EndOpen()
+		c.mActiveRuns.Set(float64(len(c.active)))
+	}
 
 	// Runs still active at the end are recorded as unfinished.
 	for i := range c.results {
@@ -245,8 +292,17 @@ func (c *Campaign) Finish() []RunResult {
 // startDay applies the day's events, then launches every forecast at its
 // start offset (plus any one-day input delay).
 func (c *Campaign) startDay(day int) {
+	if tel := c.cfg.Telemetry; tel != nil {
+		// One span per factory day, midnight to midnight; WIP carry-over
+		// is whatever is still executing when the new day starts.
+		c.daySpan.EndSpan()
+		c.daySpan = tel.Trace().Begin("day", fmt.Sprintf("day-%03d", day), "factory", c.campaignSpan)
+		c.mCarryOver.Set(float64(len(c.active)))
+	}
 	for _, ev := range c.events[day] {
 		ev.apply(c)
+		c.cfg.Telemetry.Registry().Counter("factory_events_applied_total",
+			telemetry.Labels{"type": eventType(ev)}).Inc()
 	}
 	for _, name := range c.order {
 		spec, ok := c.specs[name]
@@ -258,6 +314,16 @@ func (c *Campaign) startDay(day int) {
 	}
 	// Input delays apply to the day they were declared for only.
 	clear(c.inputDelays)
+}
+
+// eventType names an event's concrete type for metric labels, e.g.
+// "SetTimesteps".
+func eventType(ev Event) string {
+	t := fmt.Sprintf("%T", ev)
+	if i := strings.LastIndexByte(t, '.'); i >= 0 {
+		t = t[i+1:]
+	}
+	return t
 }
 
 // launch starts one forecast run.
@@ -284,6 +350,16 @@ func (c *Campaign) launch(day int, name string, spec *forecast.Spec) {
 	})
 
 	runKey := fmt.Sprintf("%s/%d", name, day)
+	var runSpan *telemetry.Span
+	if tel := c.cfg.Telemetry; tel != nil {
+		tel.Registry().Counter("factory_launches_total", telemetry.Labels{"forecast": name}).Inc()
+		runSpan = tel.Trace().Begin("run", runKey, nodeName, c.daySpan)
+		runSpan.SetArg("forecast", name)
+		runSpan.SetArg("day", fmt.Sprint(day))
+		runSpan.SetArg("node", nodeName)
+		c.runSpans[runKey] = runSpan
+		c.mActiveRuns.Add(1)
+	}
 	cfg := workflow.Config{
 		Spec:        spec,
 		Dir:         dir,
@@ -294,12 +370,23 @@ func (c *Campaign) launch(day int, name string, spec *forecast.Spec) {
 		Increments:  c.cfg.Increments,
 		Workers:     c.cfg.Workers,
 		Poll:        c.cfg.Poll,
+		Telemetry:   c.cfg.Telemetry,
+		Span:        runSpan,
 		OnDone: func(r *workflow.Run) {
 			delete(c.active, runKey)
 			res := &c.results[idx]
 			res.End = c.eng.Now()
 			res.Walltime = r.Walltime()
 			res.Finished = true
+			if tel := c.cfg.Telemetry; tel != nil {
+				tel.Registry().Counter("factory_runs_completed_total", telemetry.Labels{"forecast": name}).Inc()
+				c.mActiveRuns.Add(-1)
+				c.mWalltimes.Observe(res.Walltime)
+				if sp := c.runSpans[runKey]; sp != nil {
+					sp.EndSpan()
+					delete(c.runSpans, runKey)
+				}
+			}
 			c.writeLog(res, logs.StatusCompleted)
 		},
 	}

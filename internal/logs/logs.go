@@ -11,6 +11,7 @@ package logs
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -104,21 +105,77 @@ func Write(fs *vfs.FS, r *RunRecord) error {
 	return fs.WriteString(LogPath(RunDir(r.Forecast, r.Year, r.Day)), Format(r))
 }
 
+// ParseError describes a malformed run log, pointing at the file and
+// line where parsing failed so corrupt logs in a tree of thousands of
+// run directories can be located directly.
+type ParseError struct {
+	Path string // log file path; empty when parsing from memory
+	Line int    // 1-based line number; 0 when not line-specific
+	Msg  string
+}
+
+// Error renders "logs: <path>:<line>: <msg>", omitting absent context.
+func (e *ParseError) Error() string {
+	switch {
+	case e.Path != "" && e.Line > 0:
+		return fmt.Sprintf("logs: %s:%d: %s", e.Path, e.Line, e.Msg)
+	case e.Path != "":
+		return fmt.Sprintf("logs: %s: %s", e.Path, e.Msg)
+	case e.Line > 0:
+		return fmt.Sprintf("logs: line %d: %s", e.Line, e.Msg)
+	default:
+		return "logs: " + e.Msg
+	}
+}
+
 // Parse reads a run log back into a record. Unknown keys are ignored so
-// log formats can grow; malformed values for known keys are errors.
+// log formats can grow; malformed values for known keys, duplicated
+// keys, truncated logs, and non-finite numbers are *ParseError values.
 func Parse(text string) (*RunRecord, error) {
+	return parse(text, "")
+}
+
+// ParseFile reads and parses a run log, reporting failures with file and
+// line context.
+func ParseFile(fs *vfs.FS, path string) (*RunRecord, error) {
+	text, err := fs.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return parse(text, path)
+}
+
+func parse(text, path string) (*RunRecord, error) {
+	fail := func(line int, format string, args ...any) error {
+		return &ParseError{Path: path, Line: line, Msg: fmt.Sprintf(format, args...)}
+	}
+	if text == "" {
+		return nil, fail(0, "empty log")
+	}
+	if !strings.HasSuffix(text, "\n") {
+		// Every writer ends the log with a newline; its absence means the
+		// file was cut off mid-write (a crashed run, a partial rsync).
+		lines := strings.Split(text, "\n")
+		return nil, fail(len(lines), "truncated log: last line %q has no newline", lines[len(lines)-1])
+	}
 	r := &RunRecord{}
-	for lineNo, line := range strings.Split(text, "\n") {
-		line = strings.TrimSpace(line)
+	seen := make(map[string]int)
+	for i, raw := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		lineNo := i + 1
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		key, value, ok := strings.Cut(line, ":")
 		if !ok {
-			return nil, fmt.Errorf("logs: line %d: no key separator in %q", lineNo+1, line)
+			return nil, fail(lineNo, "no key separator in %q", line)
 		}
 		key = strings.TrimSpace(key)
 		value = strings.TrimSpace(value)
+		if key == "" {
+			return nil, fail(lineNo, "empty key in %q", line)
+		}
+		known := true
 		var err error
 		switch key {
 		case "forecast":
@@ -151,13 +208,34 @@ func Parse(text string) (*RunRecord, error) {
 			r.Status = value
 		case "products":
 			r.Products, err = strconv.Atoi(value)
+		default:
+			known = false
 		}
 		if err != nil {
-			return nil, fmt.Errorf("logs: line %d: bad %s value %q: %v", lineNo+1, key, value, err)
+			return nil, fail(lineNo, "bad %s value %q: %v", key, value, err)
+		}
+		if known {
+			if prev, dup := seen[key]; dup {
+				return nil, fail(lineNo, "duplicate key %s (first on line %d)", key, prev)
+			}
+			seen[key] = lineNo
+		}
+	}
+	for _, f := range []struct {
+		key string
+		val float64
+	}{
+		{"code_factor", r.CodeFactor},
+		{"start", r.Start},
+		{"end", r.End},
+		{"walltime", r.Walltime},
+	} {
+		if math.IsNaN(f.val) || math.IsInf(f.val, 0) {
+			return nil, fail(seen[f.key], "non-finite %s value %v", f.key, f.val)
 		}
 	}
 	if err := r.Validate(); err != nil {
-		return nil, err
+		return nil, &ParseError{Path: path, Msg: strings.TrimPrefix(err.Error(), "logs: ")}
 	}
 	return r, nil
 }
@@ -175,13 +253,9 @@ func Crawl(fs *vfs.FS, root string) ([]*RunRecord, error) {
 		if info.IsDir || info.Name != "run.log" {
 			return nil
 		}
-		text, err := fs.ReadFile(info.Path)
+		rec, err := ParseFile(fs, info.Path)
 		if err != nil {
 			return err
-		}
-		rec, err := Parse(text)
-		if err != nil {
-			return fmt.Errorf("%s: %w", info.Path, err)
 		}
 		records = append(records, rec)
 		return nil

@@ -64,6 +64,64 @@ func TestParseRejectsMalformedValues(t *testing.T) {
 	}
 }
 
+func TestParseFailureModes(t *testing.T) {
+	mangle := func(old, new string) string {
+		return strings.Replace(Format(sample()), old, new, 1)
+	}
+	cases := []struct {
+		name string
+		text string
+		want string // substring the error must carry
+	}{
+		{"empty log", "", "empty log"},
+		{"truncated last line", strings.TrimSuffix(Format(sample()), "\n"), "truncated log"},
+		{"truncated mid-value", mangle("walltime: 80333.00\nstatus: completed\nproducts: 8\n", "walltime: 803"), "truncated log"},
+		{"no separator", "forecast tillamook\n", "no key separator"},
+		{"empty key", mangle("day: 21", ": 21"), "empty key"},
+		{"non-integer day", mangle("day: 21", "day: twenty-one"), `bad day value "twenty-one"`},
+		{"non-float walltime", mangle("walltime: 80333.00", "walltime: NaNish"), "bad walltime value"},
+		{"NaN walltime", mangle("walltime: 80333.00", "walltime: NaN"), "non-finite walltime"},
+		{"infinite start", mangle("start: 1738800.00", "start: +Inf"), "non-finite start"},
+		{"duplicate key", mangle("region: tillamook", "region: tillamook\nday: 22"), "duplicate key day"},
+		{"invalid record", mangle("status: completed", "status: exploded"), "unknown status"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.text)
+		if err == nil {
+			t.Errorf("%s: Parse accepted malformed log", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseFileErrorsCarryPathAndLine(t *testing.T) {
+	fs := vfs.New(nil)
+	if err := fs.WriteString("/runs/f/2005-001/run.log", "forecast: f\nday: zebra\n"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ParseFile(fs, "/runs/f/2005-001/run.log")
+	if err == nil {
+		t.Fatal("ParseFile accepted corrupt log")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Path != "/runs/f/2005-001/run.log" || pe.Line != 2 {
+		t.Fatalf("ParseError context = %q line %d, want path and line 2", pe.Path, pe.Line)
+	}
+	if !strings.Contains(err.Error(), "/runs/f/2005-001/run.log:2:") {
+		t.Fatalf("error %q lacks file:line prefix", err)
+	}
+	// Crawl surfaces the same context.
+	if _, err := Crawl(fs, "/runs"); err == nil || !strings.Contains(err.Error(), "run.log:2:") {
+		t.Fatalf("Crawl error = %v, want file:line context", err)
+	}
+}
+
 func TestValidateRules(t *testing.T) {
 	cases := []struct {
 		name   string

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ps"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 )
 
@@ -26,6 +27,10 @@ type Link struct {
 	eng  *sim.Engine
 
 	bytesMoved float64
+
+	tel      *telemetry.Telemetry
+	mBytes   *telemetry.Counter
+	mLatency *telemetry.Histogram
 }
 
 // NewLink creates a link with the given bandwidth (bytes/second).
@@ -52,10 +57,35 @@ func (l *Link) Active() int { return l.res.Active() }
 // BytesMoved returns the total bytes delivered over the link so far.
 func (l *Link) BytesMoved() float64 { return l.bytesMoved }
 
+// Instrument attaches telemetry to the link: net_bytes_moved_total and a
+// transfer-latency histogram, both labelled by link, plus one "transfer"
+// span per Transfer on the track "link:<name>". A nil argument detaches.
+func (l *Link) Instrument(tel *telemetry.Telemetry) {
+	l.tel = tel
+	reg := tel.Registry()
+	if reg == nil {
+		l.mBytes, l.mLatency = nil, nil
+		return
+	}
+	reg.Describe("net_bytes_moved_total", "Bytes delivered over a network link.")
+	reg.Describe("net_transfer_latency_seconds", "Start-to-delivery latency of link transfers.")
+	l.mBytes = reg.Counter("net_bytes_moved_total", telemetry.Labels{"link": l.name})
+	l.mLatency = reg.Histogram("net_transfer_latency_seconds", nil, telemetry.Labels{"link": l.name})
+}
+
 // Transfer moves size bytes over the link, invoking done on delivery.
 func (l *Link) Transfer(label string, size float64, done func()) *ps.Task {
+	start := l.eng.Now()
+	var span *telemetry.Span
+	if l.tel != nil {
+		span = l.tel.Trace().Begin("transfer", label, "link:"+l.name, nil)
+		span.SetArg("bytes", fmt.Sprintf("%.0f", size))
+	}
 	return l.res.Submit(label, size, func() {
 		l.bytesMoved += size
+		l.mBytes.Add(size)
+		l.mLatency.Observe(l.eng.Now() - start)
+		span.EndSpan()
 		if done != nil {
 			done()
 		}

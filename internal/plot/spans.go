@@ -1,0 +1,28 @@
+package plot
+
+import "repro/internal/telemetry"
+
+// GanttFromSpans converts trace spans of one category into Gantt bars:
+// the span's track (node name) becomes the row, and the bar is labelled
+// by the forecast annotation when present, else the span name. This lets
+// the ForeMan-style Gantt view render directly from a campaign's trace
+// instead of a separately maintained schedule.
+func GanttFromSpans(spans []telemetry.Span, cat string) []GanttBar {
+	var bars []GanttBar
+	for _, s := range spans {
+		if s.Cat != cat {
+			continue
+		}
+		label := s.Name
+		if f := s.Args["forecast"]; f != "" {
+			label = f
+		}
+		bars = append(bars, GanttBar{
+			Node:  s.Track,
+			Run:   label,
+			Start: s.Start,
+			End:   s.End,
+		})
+	}
+	return bars
+}

@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/telemetry"
 )
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
@@ -21,6 +23,13 @@ type Engine struct {
 	queue   eventQueue
 	running bool
 	stopped bool
+
+	fired int64 // events delivered since creation
+
+	// Optional telemetry handles, resolved once by Instrument so the
+	// per-event cost is two nil-safe atomic operations.
+	mEvents *telemetry.Counter
+	mClock  *telemetry.Gauge
 }
 
 // NewEngine returns an engine with the clock at time zero.
@@ -30,6 +39,23 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// EventsFired returns the number of events delivered since creation.
+func (e *Engine) EventsFired() int64 { return e.fired }
+
+// Instrument registers the engine's kernel metrics with a registry:
+// sim_events_fired_total counts delivered events, sim_clock_seconds
+// tracks the virtual clock. A nil registry detaches the instruments.
+func (e *Engine) Instrument(reg *telemetry.Registry) {
+	if reg == nil {
+		e.mEvents, e.mClock = nil, nil
+		return
+	}
+	reg.Describe("sim_events_fired_total", "Discrete events delivered by the simulation kernel.")
+	reg.Describe("sim_clock_seconds", "Current virtual time of the simulation clock.")
+	e.mEvents = reg.Counter("sim_events_fired_total", nil)
+	e.mClock = reg.Gauge("sim_clock_seconds", nil)
+}
 
 // Timer is a handle to a scheduled event. It can be cancelled before it
 // fires; cancelling a fired or already-cancelled timer is a no-op.
@@ -119,6 +145,9 @@ func (e *Engine) Step() bool {
 	t := heap.Pop(&e.queue).(*Timer)
 	t.index = -1
 	e.now = t.when
+	e.fired++
+	e.mEvents.Inc()
+	e.mClock.Set(e.now)
 	fn := t.fn
 	t.fn = nil
 	fn()
@@ -154,6 +183,7 @@ func (e *Engine) RunUntil(deadline float64) float64 {
 	}
 	if !e.stopped && deadline > e.now {
 		e.now = deadline
+		e.mClock.Set(e.now)
 	}
 	return e.now
 }

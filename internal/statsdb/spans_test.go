@@ -1,0 +1,91 @@
+package statsdb
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestLoadSpansAnswersQueries(t *testing.T) {
+	clock := 0.0
+	tr := telemetry.NewTracer(func() float64 { return clock })
+	campaign := tr.Begin("campaign", "campaign-2005", "factory", nil)
+	day := tr.Begin("day", "day-001", "factory", campaign)
+	run := tr.Begin("run", "tillamook/1", "fnode01", day)
+	run.SetArg("forecast", "tillamook")
+	run.SetArg("day", "1")
+	run.SetArg("node", "fnode01")
+	clock = 100
+	sim := tr.Begin("simulation", "sim:tillamook", "", run)
+	clock = 40100
+	sim.EndSpan()
+	run.EndSpan()
+	clock = 86400
+	day.EndSpan()
+	campaign.EndSpan()
+
+	db := NewDB()
+	tbl, err := LoadSpans(db, tr.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tbl.Len())
+	}
+	for _, col := range []string{"cat", "track"} {
+		if !tbl.Indexed(col) {
+			t.Fatalf("column %s not indexed", col)
+		}
+	}
+
+	// Span rows answer the monitoring questions of §4.3: how long did the
+	// simulation phases on a node take?
+	res, err := db.Query("SELECT MAX(duration) FROM spans WHERE cat = 'simulation' AND track = 'fnode01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Float() != 40000 {
+		t.Fatalf("rows = %v, want one row of 40000", res.Rows)
+	}
+
+	// Annotation lifting: forecast/day/node columns come from span args.
+	res, err = db.Query("SELECT forecast, day, node FROM spans WHERE cat = 'run'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	row := res.Rows[0]
+	if row[0].Str() != "tillamook" || row[1].Int() != 1 || row[2].Str() != "fnode01" {
+		t.Fatalf("run row = %v", row)
+	}
+}
+
+func TestLoadSpansInterruptedAndBadDay(t *testing.T) {
+	tr := telemetry.NewTracer(nil)
+	s := tr.Begin("run", "r", "n", nil)
+	_ = s
+	tr.EndOpen() // closes the span with interrupted=true
+
+	db := NewDB()
+	if _, err := LoadSpans(db, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT name FROM spans WHERE interrupted = true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "r" {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+
+	// A non-integer day annotation is a descriptive error, not a panic.
+	bad := telemetry.NewTracer(nil)
+	b := bad.Begin("run", "b", "n", nil)
+	b.SetArg("day", "twenty")
+	b.EndSpan()
+	if _, err := LoadSpans(db, bad.Spans()); err == nil {
+		t.Fatal("expected error for non-integer day annotation")
+	}
+}

@@ -1,0 +1,336 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Span is one timed operation in the factory's hierarchy:
+// campaign → day → run → {simulation, product task, rsync transfer,
+// planner pass}. Spans are created by Tracer.Begin and closed by End; a
+// nil Span ignores all operations, so call sites need no telemetry
+// checks.
+type Span struct {
+	tracer *Tracer
+
+	ID     int64
+	Parent int64 // 0 = root
+	Cat    string
+	Name   string
+	// Track groups spans onto one display row (a Chrome trace "thread"):
+	// the node name for runs and tasks, "factory" for campaign/day spans,
+	// the link name for transfers.
+	Track string
+	Start float64 // sim seconds
+	End   float64 // sim seconds; valid once Finished
+	Args  map[string]string
+
+	finished bool
+}
+
+// Finished reports whether the span has ended.
+func (s *Span) Finished() bool {
+	if s == nil {
+		return false
+	}
+	if s.tracer == nil { // detached copy from Spans()
+		return s.finished
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.finished
+}
+
+// Duration returns End-Start for a finished span, else the time elapsed
+// so far.
+func (s *Span) Duration() float64 {
+	if s == nil {
+		return 0
+	}
+	if s.tracer == nil {
+		return s.End - s.Start
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	if s.finished {
+		return s.End - s.Start
+	}
+	return s.tracer.clock() - s.Start
+}
+
+// SetArg attaches a key/value annotation (forecast name, day, bytes...).
+func (s *Span) SetArg(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.tracer != nil {
+		s.tracer.mu.Lock()
+		defer s.tracer.mu.Unlock()
+	}
+	if s.Args == nil {
+		s.Args = make(map[string]string, 4)
+	}
+	s.Args[key] = value
+}
+
+// Arg reads an annotation ("" when absent or on nil).
+func (s *Span) Arg(key string) string {
+	if s == nil {
+		return ""
+	}
+	if s.tracer == nil {
+		return s.Args[key]
+	}
+	s.tracer.mu.Lock()
+	defer s.tracer.mu.Unlock()
+	return s.Args[key]
+}
+
+// EndSpan closes the span at the tracer's current sim time. Ending an
+// already-ended, detached, or nil span is a no-op.
+func (s *Span) EndSpan() {
+	if s == nil || s.tracer == nil {
+		return
+	}
+	s.tracer.mu.Lock()
+	if !s.finished {
+		s.finished = true
+		s.End = s.tracer.clock()
+	}
+	s.tracer.mu.Unlock()
+}
+
+// Tracer records sim-time spans. Create with NewTracer; a nil Tracer
+// hands out nil spans. Safe for concurrent use.
+type Tracer struct {
+	mu    sync.Mutex
+	clock func() float64
+	next  int64
+	spans []*Span
+	// arena is the current backing chunk for span storage. Campaigns
+	// record tens of thousands of short spans; carving them out of fixed
+	// chunks keeps Begin from being one heap allocation (and one GC
+	// object) per span. Chunks are never grown, so &arena[i] stays valid.
+	arena []Span
+}
+
+// tracerChunk is the span-arena chunk size.
+const tracerChunk = 256
+
+// NewTracer returns a tracer reading sim time from clock (nil clock
+// pins time at 0 until SetClock installs a real one).
+func NewTracer(clock func() float64) *Tracer {
+	t := &Tracer{}
+	t.SetClock(clock)
+	return t
+}
+
+// SetClock installs the sim-time source, typically Engine.Now. The
+// factory wires this automatically for the Telemetry it is given.
+func (t *Tracer) SetClock(clock func() float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if clock == nil {
+		clock = func() float64 { return 0 }
+	}
+	t.clock = clock
+	t.mu.Unlock()
+}
+
+// Begin opens a span under parent (nil for a root span) at the current
+// sim time.
+func (t *Tracer) Begin(cat, name, track string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.next++
+	if len(t.arena) == cap(t.arena) {
+		t.arena = make([]Span, 0, tracerChunk)
+	}
+	t.arena = append(t.arena, Span{
+		tracer: t,
+		ID:     t.next,
+		Cat:    cat,
+		Name:   name,
+		Track:  track,
+		Start:  t.clock(),
+	})
+	s := &t.arena[len(t.arena)-1]
+	if parent != nil {
+		s.Parent = parent.ID
+		if s.Track == "" {
+			s.Track = parent.Track
+		}
+	}
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// EndOpen closes every unfinished span at the current sim time — called
+// once when a campaign stops so interrupted runs still export with their
+// observed extent.
+func (t *Tracer) EndOpen() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	now := t.clock()
+	for _, s := range t.spans {
+		if !s.finished {
+			s.finished = true
+			s.End = now
+			if s.Args == nil {
+				s.Args = make(map[string]string, 1)
+			}
+			s.Args["interrupted"] = "true"
+		}
+	}
+	t.mu.Unlock()
+}
+
+// Len returns the number of spans recorded so far.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of all recorded spans in creation order.
+// Unfinished spans are reported with End equal to the current sim time.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.clock()
+	out := make([]Span, len(t.spans))
+	for i, s := range t.spans {
+		c := *s
+		c.tracer = nil
+		if !s.finished {
+			c.End = now
+		}
+		if len(s.Args) > 0 {
+			c.Args = make(map[string]string, len(s.Args))
+			for k, v := range s.Args {
+				c.Args[k] = v
+			}
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// chromeEvent is one Chrome trace-event object. ph "X" is a complete
+// event (ts + dur); ph "M" is metadata (thread names).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders all spans as Chrome trace-event JSON, loadable
+// in chrome://tracing or https://ui.perfetto.dev. Sim seconds map to
+// trace microseconds; each Track becomes a named thread.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+
+	// Assign stable thread ids per track, in first-appearance order.
+	tids := make(map[string]int)
+	var tracks []string
+	for _, s := range spans {
+		if _, ok := tids[s.Track]; !ok {
+			tids[s.Track] = len(tids) + 1
+			tracks = append(tracks, s.Track)
+		}
+	}
+	sort.Strings(tracks)
+	for i, track := range tracks {
+		tids[track] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(tracks))
+	for _, track := range tracks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tids[track],
+			Args: map[string]string{"name": track},
+		})
+	}
+	for _, s := range spans {
+		args := s.Args
+		if args == nil {
+			args = map[string]string{}
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			Ph:   "X",
+			Ts:   s.Start * 1e6,
+			Dur:  (s.End - s.Start) * 1e6,
+			Pid:  1,
+			Tid:  tids[s.Track],
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+		TimeUnit    string        `json:"displayTimeUnit"`
+	}{events, "ms"})
+}
+
+// Telemetry bundles the two collectors every instrumented component
+// accepts: a metrics registry and a span tracer. A nil *Telemetry (and
+// nil fields) disables collection with no call-site branching.
+type Telemetry struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// New returns a Telemetry with a fresh registry and tracer. The tracer's
+// clock starts pinned at 0; components owning a sim engine (factory
+// campaigns, dataflow experiments) install their clock via SetClock.
+func New() *Telemetry {
+	return &Telemetry{Metrics: NewRegistry(), Tracer: NewTracer(nil)}
+}
+
+// SetClock installs the sim-time source on the tracer (nil-safe).
+func (t *Telemetry) SetClock(clock func() float64) {
+	if t == nil {
+		return
+	}
+	t.Tracer.SetClock(clock)
+}
+
+// Registry returns the metrics registry (nil on nil Telemetry), so
+// instrumented components can write `tel.Registry().Counter(...)`
+// without a nil check.
+func (t *Telemetry) Registry() *Registry {
+	if t == nil {
+		return nil
+	}
+	return t.Metrics
+}
+
+// Trace returns the tracer (nil on nil Telemetry).
+func (t *Telemetry) Trace() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/forecast"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 )
 
@@ -33,6 +34,11 @@ type ProductConfig struct {
 	// WorkFactor scales product task cost (co-location interference).
 	WorkFactor float64
 	OnDone     func()
+
+	// Telemetry, when non-nil, receives master-process metrics and
+	// product-task spans, nested under Span.
+	Telemetry *telemetry.Telemetry
+	Span      *telemetry.Span
 }
 
 // ProductEngine incrementally computes data products as model-output
@@ -48,6 +54,12 @@ type ProductEngine struct {
 	finished  bool
 	aborted   bool
 	endTime   float64
+
+	depthPolls int // saturated polls since the last backlog scan
+
+	mPolls      *telemetry.Counter
+	mQueueDepth *telemetry.Gauge
+	mActive     *telemetry.Gauge
 }
 
 // StartProducts launches a product engine. It panics on invalid
@@ -73,8 +85,22 @@ func StartProducts(eng *sim.Engine, cfg ProductConfig) *ProductEngine {
 		eng:    eng,
 		byName: make(map[string]*productState, len(cfg.Products)),
 	}
+	reg := cfg.Telemetry.Registry()
+	if reg != nil {
+		reg.Describe("workflow_master_polls_total", "Master-process scans for new model output.")
+		reg.Describe("workflow_product_tasks_total", "Product tasks dispatched, by product class.")
+		reg.Describe("workflow_product_queue_depth", "Products with pending input bytes awaiting a worker (sampled).")
+		reg.Describe("workflow_product_active_tasks", "Product tasks currently executing.")
+		p.mPolls = reg.Counter("workflow_master_polls_total", nil)
+		p.mQueueDepth = reg.Gauge("workflow_product_queue_depth", nil)
+		p.mActive = reg.Gauge("workflow_product_active_tasks", nil)
+	}
 	for _, spec := range cfg.Products {
-		st := &productState{spec: spec}
+		st := &productState{spec: spec, taskName: "prod:" + spec.Name}
+		if reg != nil {
+			st.mTasks = reg.Counter("workflow_product_tasks_total",
+				telemetry.Labels{"class": spec.Class.String()})
+		}
 		for _, in := range spec.Inputs {
 			total, ok := cfg.InputTotals[in]
 			if !ok {
@@ -174,10 +200,48 @@ func (p *ProductEngine) poll() {
 	if p.aborted || p.finished {
 		return
 	}
+	p.mPolls.Inc()
 	p.dispatch()
+	p.updateQueueDepth()
 	if !p.finished && !p.aborted {
 		p.pollTimer = p.eng.After(p.cfg.Poll, p.poll)
 	}
+}
+
+// queueDepthEvery throttles the backlog scan while workers are
+// saturated. The gauge is a sampled instrument, so re-counting input
+// availability on every 16th poll (~16 sim-minutes at the default poll
+// interval) keeps it fresh enough without re-scanning the filesystem on
+// every poll the way dispatch already had to.
+const queueDepthEvery = 16
+
+// updateQueueDepth records how many products have input ready but no
+// worker — the master process's backlog.
+func (p *ProductEngine) updateQueueDepth() {
+	if p.mQueueDepth == nil {
+		return
+	}
+	// dispatch just ran: if a worker is still idle, it exhausted a full
+	// scan without finding pending input, so the backlog is exactly zero
+	// and no availability re-scan is needed.
+	if p.active < p.cfg.Workers {
+		p.mQueueDepth.Set(0)
+		return
+	}
+	p.depthPolls++
+	if p.depthPolls%queueDepthEvery != 0 {
+		return
+	}
+	depth := 0
+	for _, st := range p.products {
+		if st.active {
+			continue
+		}
+		if p.availableFraction(st)*st.totalIn-st.consumed > 1 {
+			depth++
+		}
+	}
+	p.mQueueDepth.Set(float64(depth))
 }
 
 func (p *ProductEngine) dispatch() {
@@ -211,13 +275,25 @@ func (p *ProductEngine) startTask(st *productState, bytes float64) {
 	st.active = true
 	st.dispatched = bytes
 	p.active++
-	p.cfg.Node.Submit("prod:"+st.spec.Name, work, func() {
+	p.mActive.Set(float64(p.active))
+	// Per-task span args (e.g. the byte count) are deliberately omitted:
+	// a campaign dispatches thousands of product tasks and a map
+	// allocation per span is measurable against the telemetry overhead
+	// budget. Aggregate byte counts live in the metrics registry instead.
+	var span *telemetry.Span
+	if tel := p.cfg.Telemetry; tel != nil {
+		st.mTasks.Inc()
+		span = tel.Trace().Begin("product", st.taskName, p.cfg.Node.Name(), p.cfg.Span)
+	}
+	p.cfg.Node.Submit(st.taskName, work, func() {
 		if p.aborted {
 			return
 		}
+		span.EndSpan()
 		st.active = false
 		st.consumed += st.dispatched
 		p.active--
+		p.mActive.Set(float64(p.active))
 		outBytes := int64(math.Round(ratio * st.spec.Scale * st.dispatched))
 		if outBytes > 0 {
 			st.outWritten += outBytes

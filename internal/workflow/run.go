@@ -7,6 +7,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/forecast"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/vfs"
 )
 
@@ -38,6 +39,12 @@ type Config struct {
 	Poll        float64 // master process scan interval (default DefaultPoll)
 	OnSimDone   func(*Run)
 	OnDone      func(*Run)
+
+	// Telemetry, when non-nil, receives workflow metrics and spans; Span
+	// is the parent (typically the factory's per-run span) under which
+	// the simulation and product-task spans nest.
+	Telemetry *telemetry.Telemetry
+	Span      *telemetry.Span
 }
 
 // productState tracks incremental progress of one product.
@@ -48,6 +55,12 @@ type productState struct {
 	dispatched float64 // input bytes handed to an in-flight task
 	outWritten int64   // product bytes written so far
 	active     bool
+
+	// taskName ("prod:<name>") and mTasks (the per-class task counter)
+	// are resolved once at startup so the dispatch path pays neither a
+	// string concatenation nor a registry lookup per task.
+	taskName string
+	mTasks   *telemetry.Counter
 }
 
 func (p *productState) consumedFraction() float64 {
@@ -80,6 +93,10 @@ type Run struct {
 	finished bool
 	endTime  float64
 	aborted  bool
+
+	simSpan       *telemetry.Span
+	mIncrements   *telemetry.Counter
+	mSimWalltimes *telemetry.Histogram
 
 	// Co-location interference factors (1.0 when the simulation and the
 	// product workflows run on different nodes, as in Architecture 2).
@@ -228,6 +245,14 @@ func Start(eng *sim.Engine, cfg Config) *Run {
 		}
 		r.incBytes[o.Name] = per
 	}
+	if tel := cfg.Telemetry; tel != nil {
+		reg := tel.Registry()
+		reg.Describe("workflow_sim_increments_total", "Simulation output increments completed.")
+		reg.Describe("workflow_sim_walltime_seconds", "Simulation phase walltime per run.")
+		r.mIncrements = reg.Counter("workflow_sim_increments_total", telemetry.Labels{"forecast": cfg.Spec.Name})
+		r.mSimWalltimes = reg.Histogram("workflow_sim_walltime_seconds", nil, nil)
+		r.simSpan = tel.Trace().Begin("simulation", "sim:"+cfg.Spec.Name, cfg.SimNode.Name(), cfg.Span)
+	}
 	if len(cfg.Spec.Products) > 0 {
 		totals := make(map[string]int64, len(cfg.Spec.Outputs))
 		for _, o := range cfg.Spec.Outputs {
@@ -243,6 +268,8 @@ func Start(eng *sim.Engine, cfg Config) *Run {
 			Poll:        cfg.Poll,
 			WorkFactor:  r.prodFactor,
 			OnDone:      func() { r.checkDone() },
+			Telemetry:   cfg.Telemetry,
+			Span:        cfg.Span,
 		})
 	}
 
@@ -309,12 +336,15 @@ func (r *Run) incrementDone() {
 			panic(fmt.Sprintf("workflow: append output: %v", err))
 		}
 	}
+	r.mIncrements.Inc()
 	if r.incDone < r.increments {
 		r.submitIncrement()
 		return
 	}
 	r.simEnd = r.eng.Now()
 	r.simJob = nil
+	r.simSpan.EndSpan()
+	r.mSimWalltimes.Observe(r.simEnd - r.started)
 	if r.cfg.OnSimDone != nil {
 		r.cfg.OnSimDone(r)
 	}
