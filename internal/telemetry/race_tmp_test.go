@@ -1,0 +1,22 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+// Temporary review test: concurrent first-use of a Describe-pre-declared
+// family races on family.kind.
+func TestReviewDescribeRace(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("racy_total", "pre-declared")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter("racy_total", nil).Inc()
+		}()
+	}
+	wg.Wait()
+}
