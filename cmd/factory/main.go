@@ -2,22 +2,32 @@
 // factory and prints per-day walltimes, the event log, and node
 // utilization — the raw material behind Figures 8 and 9.
 //
+// With -monitor-addr it also serves the control room while the campaign
+// replays: a live HTML dashboard, Prometheus /metrics, and the JSON
+// status/alert APIs. Combine with -replay-rate to slow the replay to an
+// observable pace.
+//
 // Usage:
 //
 //	factory [-scenario fig8|fig9|growth] [-config file.json] [-forecast name]
 //	        [-days n] [-snapshot hours] [-metrics-out file] [-trace-out file]
+//	        [-monitor-addr host:port] [-replay-rate simsec-per-sec]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/factory"
 	"repro/internal/logs"
+	"repro/internal/monitor"
 	"repro/internal/plot"
 	"repro/internal/telemetry"
 )
@@ -30,6 +40,8 @@ func main() {
 	configPath := flag.String("config", "", "load the campaign from a JSON factory description instead of a built-in scenario")
 	metricsOut := flag.String("metrics-out", "", "write campaign metrics in Prometheus text format to this file")
 	traceOut := flag.String("trace-out", "", "write the campaign trace as Chrome trace-event JSON to this file")
+	monitorAddr := flag.String("monitor-addr", "", "serve the control room (dashboard, /metrics, status and alert APIs) on this address while the campaign replays")
+	replayRate := flag.Float64("replay-rate", 0, "pace the replay at this many sim-seconds per wall-second (0 = full speed; needs -monitor-addr to be observable)")
 	flag.Parse()
 
 	var cfg factory.Config
@@ -89,7 +101,7 @@ func main() {
 	}
 
 	var tel *telemetry.Telemetry
-	if *metricsOut != "" || *traceOut != "" {
+	if *metricsOut != "" || *traceOut != "" || *monitorAddr != "" {
 		tel = telemetry.New()
 		cfg.Telemetry = tel
 	}
@@ -99,6 +111,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	// Control room: attach the monitor before the campaign runs, serve it
+	// from a wall-clock goroutine while the simulation replays.
+	var mon *monitor.Monitor
+	var servedAddr net.Addr
+	if *monitorAddr != "" {
+		mon = monitor.New(monitor.DefaultOptions(), tel.Registry())
+		mon.Attach(c)
+		ln, err := net.Listen("tcp", *monitorAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv := monitor.NewServer(mon, tel.Registry())
+		go func() {
+			if err := http.Serve(ln, srv.Handler()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+		servedAddr = ln.Addr()
+		fmt.Printf("control room serving on http://%s\n", servedAddr)
+	}
+
 	c.Prepare()
 	if *snapshotAt > 0 {
 		c.Engine().RunUntil(*snapshotAt * 3600)
@@ -116,7 +151,19 @@ func main() {
 		fmt.Print(snap.Gantt(72))
 		fmt.Println()
 	}
+	if *replayRate > 0 {
+		// Paced replay: advance the virtual clock in one-wall-second
+		// chunks so the dashboard shows the campaign unfolding.
+		eng := c.Engine()
+		for eng.Now() < c.Horizon() {
+			eng.RunUntil(min(eng.Now()+*replayRate, c.Horizon()))
+			time.Sleep(time.Second)
+		}
+	}
 	results := c.Finish()
+	if mon != nil {
+		mon.Finalize(c.Engine().Now())
+	}
 
 	fmt.Printf("\n%s walltimes by day:\n", subject)
 	daysOut, wt := factory.Walltimes(results, subject)
@@ -189,6 +236,23 @@ func main() {
 			fmt.Println()
 			fmt.Print(g.Render())
 		}
+	}
+
+	if mon != nil {
+		fmt.Println("\nSLO report (deadline attainment):")
+		fmt.Print(mon.Report())
+		if alerts := mon.Alerts(); len(alerts) > 0 {
+			firing := 0
+			for _, a := range alerts {
+				if a.Firing() {
+					firing++
+				}
+			}
+			fmt.Printf("\nalerts: %d total, %d still firing (full history at /api/alerts)\n",
+				len(alerts), firing)
+		}
+		fmt.Printf("\ncontrol room still serving on http://%s — Ctrl-C to exit\n", servedAddr)
+		select {}
 	}
 }
 

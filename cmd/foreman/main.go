@@ -10,11 +10,14 @@
 //
 //	foreman [-heuristic stay-put|ffd|bfd|wfd] [-fail node] [-policy minimal|reshuffle]
 //	        [-move run=node] [-scripts] [-hindcast n] [-sql query] [-now hour]
-//	        [-metrics-out file] [-trace-out file]
+//	        [-slo] [-metrics-out file] [-trace-out file]
 //
 // The -sql flag accepts the statsdb SELECT subset, including JOINs against
 // the nodes table and EXPLAIN; the bootstrap campaign's trace spans are
-// loaded into a "spans" table queryable the same way.
+// loaded into a "spans" table queryable the same way, and the control-room
+// monitor's alert history into an "alerts" table joinable against runs.
+// -slo prints the monitor's deadline-attainment report and alert history
+// for the bootstrap campaign.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"repro/internal/factory"
 	"repro/internal/forecast"
 	"repro/internal/logs"
+	"repro/internal/monitor"
 	"repro/internal/plot"
 	"repro/internal/statsdb"
 	"repro/internal/telemetry"
@@ -83,6 +87,7 @@ func main() {
 	hindcasts := flag.Int("hindcast", 0, "backfill this many hindcast jobs into idle capacity")
 	metricsOut := flag.String("metrics-out", "", "write bootstrap + planner metrics in Prometheus text format to this file")
 	traceOut := flag.String("trace-out", "", "write the bootstrap + planner trace as Chrome trace-event JSON to this file")
+	sloFlag := flag.Bool("slo", false, "print the control-room SLO report and alert history for the bootstrap campaign")
 	flag.Parse()
 
 	h, ok := heuristicByName(*heuristicFlag)
@@ -103,7 +108,7 @@ func main() {
 	// "spans" table, queryable whether or not an export file was asked
 	// for.
 	var tel *telemetry.Telemetry
-	if *metricsOut != "" || *traceOut != "" || *sqlFlag != "" {
+	if *metricsOut != "" || *traceOut != "" || *sqlFlag != "" || *sloFlag {
 		tel = telemetry.New()
 		core.SetTelemetry(tel)
 		defer core.SetTelemetry(nil)
@@ -119,7 +124,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	// The control room watches the bootstrap campaign: its alert history
+	// becomes the "alerts" table and its SLO report backs -slo.
+	var mon *monitor.Monitor
+	if tel != nil {
+		mon = monitor.New(monitor.DefaultOptions(), tel.Registry())
+		mon.Attach(campaign)
+	}
 	campaign.Run()
+	if mon != nil {
+		mon.Finalize(campaign.Engine().Now())
+	}
 	records, err := logs.Crawl(campaign.FS(), "/runs")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -137,6 +152,27 @@ func main() {
 		if _, err := statsdb.LoadSpans(db, tel.Trace().Spans()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+	if mon != nil {
+		// Control-room alert history joins against runs via -sql.
+		if _, err := monitor.LoadAlerts(db, mon.Alerts()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *sloFlag {
+		fmt.Println("\nSLO report (deadline attainment):")
+		fmt.Print(mon.Report())
+		alerts := mon.Alerts()
+		fmt.Printf("\nalert history: %d alerts\n", len(alerts))
+		for _, a := range alerts {
+			resolved := "still firing"
+			if a.ResolvedAt > 0 {
+				resolved = fmt.Sprintf("resolved %6.1fh", a.ResolvedAt/3600)
+			}
+			fmt.Printf("  #%-3d %-8s %-10s %-24s day %3d fired %6.1fh %-16s %s\n",
+				a.ID, a.Severity, a.Rule, a.Forecast, a.Day, a.FiredAt/3600, resolved, a.Message)
 		}
 	}
 	if *sqlFlag != "" {

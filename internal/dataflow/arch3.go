@@ -116,7 +116,6 @@ func RunPartitioned(p Params, k int) Result {
 		}
 		return true
 	}
-	const deadline = 90 * 86400.0
 	var watchdog func()
 	watchdog = func() {
 		if allDone() {
@@ -125,7 +124,7 @@ func RunPartitioned(p Params, k int) Result {
 			}
 			return
 		}
-		if eng.Now() > deadline {
+		if eng.Now() > watchdogDeadline {
 			panic("dataflow: partitioned run did not complete")
 		}
 		eng.After(p.SampleInterval, watchdog)

@@ -35,6 +35,11 @@ const (
 	Architecture2 Architecture = 2
 )
 
+// watchdogDeadline bounds every architecture's virtual runtime: a
+// dataflow that has not drained after 90 virtual days is wedged, and the
+// watchdog panics rather than spinning the event loop forever.
+const watchdogDeadline = 90 * 86400.0
+
 // String names the architecture as in the paper.
 func (a Architecture) String() string {
 	switch a {
@@ -245,9 +250,7 @@ func Run(arch Architecture, p Params) Result {
 	eng.After(p.SampleInterval, sampler)
 
 	// Watchdog: once the run is finished and rsync has delivered
-	// everything, stop the periodic agents so the event queue drains. The
-	// deadline is a safety net against a wedged configuration.
-	const deadline = 90 * 86400.0
+	// everything, stop the periodic agents so the event queue drains.
 	var watchdog func()
 	watchdog = func() {
 		if run.Finished() && rs.Synced() {
@@ -256,8 +259,8 @@ func Run(arch Architecture, p Params) Result {
 			sampler() // final sample at the exact end
 			return
 		}
-		if eng.Now() > deadline {
-			panic(fmt.Sprintf("dataflow: %v did not complete within %v virtual seconds", arch, deadline))
+		if eng.Now() > watchdogDeadline {
+			panic(fmt.Sprintf("dataflow: %v did not complete within %v virtual seconds", arch, watchdogDeadline))
 		}
 		eng.After(p.SampleInterval, watchdog)
 	}

@@ -206,6 +206,32 @@ func New(cfg Config) (*Campaign, error) {
 // Engine exposes the campaign's simulation engine (read-only use).
 func (c *Campaign) Engine() *sim.Engine { return c.eng }
 
+// StartDay returns the first simulated day of year (1-based).
+func (c *Campaign) StartDay() int { return c.cfg.StartDay }
+
+// Horizon returns the virtual time at which the campaign stops: midnight
+// after the last simulated day plus the drain allowance.
+func (c *Campaign) Horizon() float64 {
+	lastDay := c.cfg.StartDay + c.cfg.Days - 1
+	return c.dayTime(lastDay+1) + float64(c.cfg.DrainDays)*SecondsPerDay
+}
+
+// AddRunLogHook chains fn after any previously configured OnRunLog
+// callback. Observers (the control-room monitor, statsdb feeds) attach
+// here without displacing each other. Call before the campaign runs.
+func (c *Campaign) AddRunLogHook(fn func(*logs.RunRecord)) {
+	if fn == nil {
+		return
+	}
+	prev := c.cfg.OnRunLog
+	c.cfg.OnRunLog = func(r *logs.RunRecord) {
+		if prev != nil {
+			prev(r)
+		}
+		fn(r)
+	}
+}
+
 // FS exposes the campaign's filesystem, holding run directories and logs.
 func (c *Campaign) FS() *vfs.FS { return c.fs }
 
@@ -259,10 +285,8 @@ func (c *Campaign) Prepare() {
 // all run results sorted by (forecast, day).
 func (c *Campaign) Finish() []RunResult {
 	c.Prepare()
-	lastDay := c.cfg.StartDay + c.cfg.Days - 1
 	// Let still-running work drain, then stop.
-	deadline := c.dayTime(lastDay+1) + float64(c.cfg.DrainDays)*SecondsPerDay
-	c.eng.RunUntil(deadline)
+	c.eng.RunUntil(c.Horizon())
 
 	if tel := c.cfg.Telemetry; tel != nil {
 		c.daySpan.EndSpan()

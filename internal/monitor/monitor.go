@@ -1,0 +1,734 @@
+// Package monitor is the factory control room: the consumer of the
+// telemetry layer that closes the loop between measurement and operator
+// action. It tracks every run against its deadline SLO, predicts misses
+// before they happen using the ForeMan estimator and observed simulation
+// progress, evaluates alert rules (deadline, run-time regression,
+// metric thresholds) with a firing→resolved lifecycle, and serves the
+// whole picture over HTTP (Prometheus /metrics, a JSON status API, and
+// a live HTML dashboard).
+//
+// The paper's forecasts are perishable (§4.1): a product that lands
+// after its deadline has lost most of its value, yet §4.3's statistics
+// database only reveals lateness after the fact. The monitor watches
+// the factory online instead — the way Tuor et al. (arXiv:1905.09219)
+// argue for continuously collected, centrally evaluated run telemetry.
+//
+// The monitor is driven entirely by simulation-side events (run-log
+// writes and periodic engine ticks), so its state is deterministic;
+// the HTTP server reads immutable snapshots under a lock and never
+// touches the engine, making it safe to serve from wall-clock
+// goroutines while the campaign replays.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/factory"
+	"repro/internal/forecast"
+	"repro/internal/logs"
+	"repro/internal/telemetry"
+)
+
+// Run states reported by the SLO tracker.
+const (
+	RunRunning = "running"
+	RunOnTime  = "on-time"
+	RunLate    = "late"
+	RunDropped = "dropped"
+)
+
+// RunSLO is one run's standing against its deadline. Times are absolute
+// campaign seconds; zero ETA/End mean "not known yet".
+type RunSLO struct {
+	Forecast string  `json:"forecast"`
+	Day      int     `json:"day"`
+	Node     string  `json:"node"`
+	State    string  `json:"state"`
+	Start    float64 `json:"start"`
+	Deadline float64 `json:"deadline"`
+	// ETA is the current completion prediction: the estimator's figure at
+	// launch, refined from simulation progress while the run executes,
+	// and the actual end once finished.
+	ETA      float64 `json:"eta,omitempty"`
+	End      float64 `json:"end,omitempty"`
+	Walltime float64 `json:"walltime,omitempty"`
+	// Budget is the lateness budget remaining: deadline minus ETA.
+	// Negative means the run is (predicted) late.
+	Budget float64 `json:"budget"`
+	// Progress is the simulation fraction completed (running runs).
+	Progress float64 `json:"progress"`
+	// PredictedMiss is set while the tracker expects the deadline to be
+	// missed (and stays set if it actually was).
+	PredictedMiss bool `json:"predicted_miss,omitempty"`
+}
+
+// NodeStatus is one node's cached utilization for the status API.
+type NodeStatus struct {
+	Name        string  `json:"name"`
+	CPUs        int     `json:"cpus"`
+	Utilization float64 `json:"utilization"`
+}
+
+// Options configure a Monitor. The zero value is usable; DefaultOptions
+// fills in the standard rule set.
+type Options struct {
+	// TickEvery is the rule-evaluation interval in sim seconds when
+	// attached to a campaign (default 900 = 15 sim-minutes).
+	TickEvery float64
+	// PredictedSeverity and MissSeverity grade the deadline rule's two
+	// stages (defaults: warning, critical).
+	PredictedSeverity Severity
+	MissSeverity      Severity
+	// Regression is the rolling-window walltime anomaly rule.
+	Regression RegressionRule
+	// Thresholds are metric threshold rules evaluated every tick.
+	Thresholds []ThresholdRule
+	// History seeds the estimator and the regression baselines with
+	// completed run records (e.g. harvested from the statsdb runs table).
+	History []*logs.RunRecord
+	// StartDay anchors day-of-year to campaign seconds (default 1).
+	// Attach overrides it from the campaign.
+	StartDay int
+	// Nodes supplies node speeds for the estimator. Attach overrides it
+	// from the campaign's cluster.
+	Nodes []core.NodeInfo
+	// Deadlines overrides the per-forecast deadline (seconds after
+	// midnight). Unlisted forecasts use the spec's deadline via SpecOf,
+	// else end of day.
+	Deadlines map[string]float64
+	// SpecOf resolves a forecast's current spec for deadline lookup and
+	// history-less estimates. Attach wires it to Campaign.Spec.
+	SpecOf func(name string) *forecast.Spec
+}
+
+// DefaultOptions returns the standard control-room configuration.
+func DefaultOptions() Options {
+	return Options{
+		TickEvery:         900,
+		PredictedSeverity: SevWarning,
+		MissSeverity:      SevCritical,
+		Regression:        RegressionRule{Window: 7, Ratio: 1.5, MinSamples: 3, Severity: SevWarning},
+		StartDay:          1,
+	}
+}
+
+// Monitor is the control room's state: the SLO tracker, the alert
+// engine, and cached node utilization. All exported methods are safe for
+// concurrent use; the HTTP server reads while the simulation writes.
+type Monitor struct {
+	mu   sync.Mutex
+	opts Options
+	reg  *telemetry.Registry
+
+	now  float64
+	done bool
+
+	runs  map[string]*RunSLO // key "forecast/day"
+	order []string           // insertion order of runs
+
+	// Completed-run history per forecast (walltimes, oldest first) for
+	// regression baselines, plus the full records for the estimator.
+	walltimes map[string][]float64
+	records   []*logs.RunRecord
+	est       *core.Estimator
+	estDirty  bool
+
+	nodes []NodeStatus
+
+	book *alertBook
+
+	mLate      *telemetry.Counter
+	mPredicted *telemetry.Counter
+	mRunning   *telemetry.Gauge
+}
+
+// New builds a Monitor. reg (may be nil) receives the monitor's own
+// metrics: alerts firing/fired, deadline misses, predicted misses.
+func New(opts Options, reg *telemetry.Registry) *Monitor {
+	if opts.TickEvery <= 0 {
+		opts.TickEvery = 900
+	}
+	if opts.StartDay <= 0 {
+		opts.StartDay = 1
+	}
+	if opts.Regression.Window <= 0 {
+		opts.Regression.Window = 7
+	}
+	if opts.Regression.Ratio <= 0 {
+		opts.Regression.Ratio = 1.5
+	}
+	if opts.Regression.MinSamples <= 0 {
+		opts.Regression.MinSamples = 3
+	}
+	if opts.PredictedSeverity == 0 && opts.MissSeverity == 0 {
+		opts.PredictedSeverity = SevWarning
+		opts.MissSeverity = SevCritical
+	}
+	reg.Describe("monitor_deadline_misses_total", "Runs that completed (or are executing) past their deadline.")
+	reg.Describe("monitor_predicted_misses_total", "Deadline misses predicted before they occurred.")
+	reg.Describe("monitor_runs_tracked", "Runs currently tracked as executing.")
+	m := &Monitor{
+		opts:       opts,
+		reg:        reg,
+		runs:       make(map[string]*RunSLO),
+		walltimes:  make(map[string][]float64),
+		book:       newAlertBook(reg),
+		mLate:      reg.Counter("monitor_deadline_misses_total", nil),
+		mPredicted: reg.Counter("monitor_predicted_misses_total", nil),
+		mRunning:   reg.Gauge("monitor_runs_tracked", nil),
+	}
+	for _, r := range opts.History {
+		if r.Status == logs.StatusCompleted && r.Walltime > 0 {
+			m.records = append(m.records, r)
+			m.walltimes[r.Forecast] = append(m.walltimes[r.Forecast], r.Walltime)
+		}
+	}
+	m.estDirty = len(m.records) > 0
+	return m
+}
+
+// Attach wires the monitor to a campaign: it subscribes to run-log
+// writes, reads specs and node speeds from the campaign, and schedules
+// the periodic rule-evaluation tick on the campaign's engine. Call
+// before the campaign runs.
+func (m *Monitor) Attach(c *factory.Campaign) {
+	m.mu.Lock()
+	m.opts.StartDay = c.StartDay()
+	m.opts.SpecOf = c.Spec
+	m.opts.Nodes = nil
+	for _, n := range c.Cluster().Nodes() {
+		m.opts.Nodes = append(m.opts.Nodes, core.NodeInfo{Name: n.Name(), CPUs: n.CPUs(), Speed: n.Speed()})
+	}
+	m.estDirty = true
+	m.mu.Unlock()
+
+	c.AddRunLogHook(m.ObserveRecord)
+
+	eng := c.Engine()
+	horizon := c.Horizon()
+	interval := m.opts.TickEvery
+	var tick func()
+	tick = func() {
+		snap := c.Snapshot()
+		var nodes []NodeStatus
+		for _, n := range c.Cluster().Nodes() {
+			nodes = append(nodes, NodeStatus{Name: n.Name(), CPUs: n.CPUs(), Utilization: n.Utilization()})
+		}
+		m.ObserveSnapshot(snap, nodes)
+		if eng.Now()+interval <= horizon {
+			eng.After(interval, tick)
+		}
+	}
+	eng.After(interval, tick)
+}
+
+// runKey builds the tracker key for a record.
+func runKey(forecastName string, day int) string {
+	return fmt.Sprintf("%s/%d", forecastName, day)
+}
+
+// dayStart converts a day of year to campaign seconds.
+func (m *Monitor) dayStart(day int) float64 {
+	return float64(day-m.opts.StartDay) * factory.SecondsPerDay
+}
+
+// deadlineFor resolves a forecast's absolute deadline for a day.
+func (m *Monitor) deadlineFor(forecastName string, day int) float64 {
+	rel, ok := m.opts.Deadlines[forecastName]
+	if !ok {
+		if m.opts.SpecOf != nil {
+			if s := m.opts.SpecOf(forecastName); s != nil && s.Deadline > 0 {
+				rel = s.Deadline
+			}
+		}
+		if rel <= 0 {
+			rel = factory.SecondsPerDay // end of day
+		}
+	}
+	return m.dayStart(day) + rel
+}
+
+// estimator returns the (lazily rebuilt) run-time estimator.
+func (m *Monitor) estimator() *core.Estimator {
+	if m.estDirty || m.est == nil {
+		m.est = core.NewEstimator(m.records, m.opts.Nodes)
+		m.estDirty = false
+	}
+	return m.est
+}
+
+// launchETA predicts a freshly launched run's completion time: the
+// estimator scaled from history when available, the spec work model
+// otherwise, zero (unknown) as a last resort.
+func (m *Monitor) launchETA(rec *logs.RunRecord) float64 {
+	est, err := m.estimator().Estimate(core.Request{
+		Forecast:  rec.Forecast,
+		Timesteps: rec.Timesteps,
+		MeshSides: rec.MeshSides,
+		Node:      rec.Node,
+		Adjust:    1,
+	})
+	if err == nil {
+		return rec.Start + est.Seconds
+	}
+	if m.opts.SpecOf != nil {
+		if spec := m.opts.SpecOf(rec.Forecast); spec != nil {
+			for _, n := range m.opts.Nodes {
+				if n.Name == rec.Node && n.Speed > 0 {
+					return rec.Start + core.EstimateFromSpec(spec, n).Seconds
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// ObserveRecord feeds one run-log write into the tracker — the factory
+// calls this (via AddRunLogHook) at the virtual instant each record is
+// written, mirroring §4.3.2's in-script database updates.
+func (m *Monitor) ObserveRecord(rec *logs.RunRecord) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	key := runKey(rec.Forecast, rec.Day)
+	switch rec.Status {
+	case logs.StatusRunning:
+		if rec.Start > m.now {
+			m.now = rec.Start
+		}
+		r, ok := m.runs[key]
+		if !ok {
+			r = &RunSLO{Forecast: rec.Forecast, Day: rec.Day}
+			m.runs[key] = r
+			m.order = append(m.order, key)
+		}
+		r.Node = rec.Node
+		r.State = RunRunning
+		r.Start = rec.Start
+		r.Deadline = m.deadlineFor(rec.Forecast, rec.Day)
+		r.ETA = m.launchETA(rec)
+		if r.ETA > 0 {
+			r.Budget = r.Deadline - r.ETA
+		} else {
+			r.Budget = r.Deadline - m.now
+		}
+		m.mRunning.Add(1)
+		m.checkDeadline(r)
+
+	case logs.StatusCompleted:
+		if rec.End > m.now {
+			m.now = rec.End
+		}
+		r, ok := m.runs[key]
+		if !ok {
+			// Standalone feeds may deliver completions without a prior
+			// launch record; synthesize the entry.
+			r = &RunSLO{Forecast: rec.Forecast, Day: rec.Day, Start: rec.Start,
+				Deadline: m.deadlineFor(rec.Forecast, rec.Day)}
+			m.runs[key] = r
+			m.order = append(m.order, key)
+		} else {
+			m.mRunning.Add(-1)
+		}
+		r.Node = rec.Node
+		r.End = rec.End
+		r.ETA = rec.End
+		r.Walltime = rec.Walltime
+		r.Progress = 1
+		r.Budget = r.Deadline - rec.End
+		if rec.End > r.Deadline {
+			r.State = RunLate
+			m.fireMiss(r, false)
+		} else {
+			r.State = RunOnTime
+			r.PredictedMiss = false
+			// An on-time landing retires any predicted-miss alert.
+			m.book.resolve(m.now, "deadline:"+key)
+		}
+		m.checkRegression(rec)
+		m.records = append(m.records, rec)
+		m.walltimes[rec.Forecast] = append(m.walltimes[rec.Forecast], rec.Walltime)
+		m.estDirty = true
+
+	case logs.StatusDropped:
+		r, ok := m.runs[key]
+		if !ok {
+			r = &RunSLO{Forecast: rec.Forecast, Day: rec.Day, Start: rec.Start,
+				Deadline: m.deadlineFor(rec.Forecast, rec.Day)}
+			m.runs[key] = r
+			m.order = append(m.order, key)
+		} else if r.State == RunRunning {
+			m.mRunning.Add(-1)
+		}
+		r.Node = rec.Node
+		r.State = RunDropped
+		m.book.fire(m.now, Alert{
+			Rule: "run_dropped", Key: "dropped:" + key, Severity: SevWarning,
+			Forecast: rec.Forecast, Day: rec.Day, Node: rec.Node,
+			Message: fmt.Sprintf("%s day %d dropped (capacity short)", rec.Forecast, rec.Day),
+		})
+	}
+}
+
+// ObserveSnapshot ingests a factory snapshot (taken on the engine's
+// goroutine): it advances the clock, refreshes progress-based ETAs for
+// executing runs, caches node utilization, and evaluates all rules.
+func (m *Monitor) ObserveSnapshot(snap factory.Snapshot, nodes []NodeStatus) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if snap.Now > m.now {
+		m.now = snap.Now
+	}
+	if nodes != nil {
+		m.nodes = nodes
+	}
+	for _, a := range snap.Active {
+		r := m.runs[runKey(a.Forecast, a.Day)]
+		if r == nil || r.State != RunRunning {
+			continue
+		}
+		r.Progress = a.SimProgress
+		// Linear extrapolation from simulation progress, as the ForeMan
+		// monitor view draws it; keep the launch-time estimate until
+		// there is enough progress signal to beat it.
+		if a.SimProgress > 0.02 {
+			eta := a.Started + (snap.Now-a.Started)/a.SimProgress
+			if eta < snap.Now {
+				eta = snap.Now
+			}
+			r.ETA = eta
+			r.Budget = r.Deadline - eta
+		}
+	}
+	m.evaluateLocked()
+}
+
+// Tick advances the monitor clock and evaluates all rules — the
+// standalone equivalent of a campaign tick for tests and replays.
+func (m *Monitor) Tick(now float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now > m.now {
+		m.now = now
+	}
+	m.evaluateLocked()
+}
+
+// evaluateLocked runs deadline and threshold rules at the current clock.
+func (m *Monitor) evaluateLocked() {
+	for _, key := range m.order {
+		if r := m.runs[key]; r.State == RunRunning {
+			m.checkDeadline(r)
+		}
+	}
+	if len(m.opts.Thresholds) > 0 {
+		fams := m.reg.Snapshot()
+		for _, rule := range m.opts.Thresholds {
+			key := "threshold:" + rule.Name
+			v, ok := rule.value(fams)
+			if ok && v > rule.Above {
+				m.book.fire(m.now, Alert{
+					Rule: rule.Name, Key: key, Severity: rule.Severity,
+					Value: v, Threshold: rule.Above,
+					Message: fmt.Sprintf("%s: %s = %g above %g", rule.Name, rule.Metric, v, rule.Above),
+				})
+			} else {
+				m.book.resolve(m.now, key)
+			}
+		}
+	}
+}
+
+// checkDeadline evaluates the deadline SLO for a running run: an actual
+// miss once the clock passes the deadline, a predicted miss as soon as
+// the ETA does.
+func (m *Monitor) checkDeadline(r *RunSLO) {
+	key := runKey(r.Forecast, r.Day)
+	switch {
+	case m.now > r.Deadline:
+		// The run is executing past its deadline — the miss is real even
+		// though the run hasn't finished.
+		m.fireMiss(r, false)
+	case r.ETA > r.Deadline:
+		if !r.PredictedMiss {
+			r.PredictedMiss = true
+			m.mPredicted.Inc()
+		}
+		m.book.fire(m.now, Alert{
+			Rule: "deadline", Key: "deadline:" + key, Severity: m.opts.PredictedSeverity,
+			Forecast: r.Forecast, Day: r.Day, Node: r.Node,
+			Value: r.ETA, Threshold: r.Deadline, Predicted: true,
+			Message: fmt.Sprintf("%s day %d predicted to finish %s after its deadline",
+				r.Forecast, r.Day, hhmm(r.ETA-r.Deadline)),
+		})
+	case r.PredictedMiss:
+		// The ETA recovered (faster progress than estimated): resolve.
+		r.PredictedMiss = false
+		m.book.resolve(m.now, "deadline:"+key)
+	}
+}
+
+// fireMiss raises (or escalates) the actual deadline-miss alert.
+func (m *Monitor) fireMiss(r *RunSLO, predicted bool) {
+	key := runKey(r.Forecast, r.Day)
+	over := m.now - r.Deadline
+	if r.End > 0 {
+		over = r.End - r.Deadline
+	}
+	prior := m.book.firing["deadline:"+key]
+	escalating := prior == nil || prior.Predicted
+	m.book.fire(m.now, Alert{
+		Rule: "deadline", Key: "deadline:" + key, Severity: m.opts.MissSeverity,
+		Forecast: r.Forecast, Day: r.Day, Node: r.Node,
+		Value: m.now, Threshold: r.Deadline, Predicted: predicted,
+		Message: fmt.Sprintf("%s day %d missed its deadline by %s", r.Forecast, r.Day, hhmm(over)),
+	})
+	if escalating {
+		m.mLate.Inc()
+	}
+}
+
+// checkRegression compares a completed run against the trailing median
+// of its forecast's previous runs.
+func (m *Monitor) checkRegression(rec *logs.RunRecord) {
+	rule := m.opts.Regression
+	if rule.Disabled {
+		return
+	}
+	median, ok := rule.baseline(m.walltimes[rec.Forecast])
+	if !ok {
+		return
+	}
+	key := "regression:" + rec.Forecast
+	bound := rule.Ratio * median
+	if rec.Walltime > bound {
+		m.book.fire(m.now, Alert{
+			Rule: "runtime_regression", Key: key, Severity: rule.Severity,
+			Forecast: rec.Forecast, Day: rec.Day, Node: rec.Node,
+			Value: rec.Walltime, Threshold: bound,
+			Message: fmt.Sprintf("%s day %d ran %.0fs, %.1f× the trailing %d-run median %.0fs",
+				rec.Forecast, rec.Day, rec.Walltime, rec.Walltime/median, rule.Window, median),
+		})
+	} else {
+		m.book.resolve(m.now, key)
+	}
+}
+
+// Finalize marks the campaign over at the given virtual time. Runs still
+// tracked as executing are counted as late if past deadline; firing
+// alerts remain firing (the operator resolves them by reading the report).
+func (m *Monitor) Finalize(now float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if now > m.now {
+		m.now = now
+	}
+	m.done = true
+	m.evaluateLocked()
+}
+
+// Now returns the monitor's clock (the latest virtual time observed).
+func (m *Monitor) Now() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Alerts returns the full alert history, oldest first.
+func (m *Monitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.book.snapshotAll()
+}
+
+// FiringAlerts returns the currently firing alerts, oldest first.
+func (m *Monitor) FiringAlerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.book.snapshotFiring()
+}
+
+// Summary aggregates the tracker's counts for the status API.
+type Summary struct {
+	Running       int `json:"running"`
+	OnTime        int `json:"on_time"`
+	Late          int `json:"late"`
+	Dropped       int `json:"dropped"`
+	PredictedLate int `json:"predicted_late"`
+	AlertsFiring  int `json:"alerts_firing"`
+	// Attainment is on-time completions over all completions (1 when
+	// nothing has completed yet).
+	Attainment float64 `json:"attainment"`
+}
+
+// Status is the control room's full picture at one instant.
+type Status struct {
+	Now     float64      `json:"now"`
+	Day     int          `json:"day"`
+	Done    bool         `json:"done"`
+	Summary Summary      `json:"summary"`
+	Runs    []RunSLO     `json:"runs"`
+	Nodes   []NodeStatus `json:"nodes"`
+	Firing  []Alert      `json:"firing"`
+}
+
+// Status snapshots the monitor.
+func (m *Monitor) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Status{
+		Now:  m.now,
+		Day:  m.opts.StartDay + int(m.now/factory.SecondsPerDay),
+		Done: m.done,
+	}
+	st.Runs = make([]RunSLO, 0, len(m.order))
+	for _, key := range m.order {
+		r := *m.runs[key]
+		st.Runs = append(st.Runs, r)
+		switch r.State {
+		case RunRunning:
+			st.Summary.Running++
+			if r.PredictedMiss {
+				st.Summary.PredictedLate++
+			}
+		case RunOnTime:
+			st.Summary.OnTime++
+		case RunLate:
+			st.Summary.Late++
+		case RunDropped:
+			st.Summary.Dropped++
+		}
+	}
+	sort.Slice(st.Runs, func(i, j int) bool {
+		if st.Runs[i].Day != st.Runs[j].Day {
+			return st.Runs[i].Day > st.Runs[j].Day
+		}
+		return st.Runs[i].Forecast < st.Runs[j].Forecast
+	})
+	if done := st.Summary.OnTime + st.Summary.Late; done > 0 {
+		st.Summary.Attainment = float64(st.Summary.OnTime) / float64(done)
+	} else {
+		st.Summary.Attainment = 1
+	}
+	st.Nodes = append([]NodeStatus(nil), m.nodes...)
+	st.Firing = m.book.snapshotFiring()
+	st.Summary.AlertsFiring = len(st.Firing)
+	return st
+}
+
+// ForecastSLO is one forecast's aggregate standing in the SLO report.
+type ForecastSLO struct {
+	Forecast      string  `json:"forecast"`
+	Runs          int     `json:"runs"`
+	OnTime        int     `json:"on_time"`
+	Late          int     `json:"late"`
+	Dropped       int     `json:"dropped"`
+	Attainment    float64 `json:"attainment"`
+	WorstLateness float64 `json:"worst_lateness"` // seconds past deadline
+	MeanBudget    float64 `json:"mean_budget"`    // mean (deadline − end)
+}
+
+// SLOReport aggregates deadline attainment per forecast and overall.
+type SLOReport struct {
+	Forecasts []ForecastSLO `json:"forecasts"`
+	Total     ForecastSLO   `json:"total"`
+}
+
+// Report computes the SLO report over everything observed so far.
+func (m *Monitor) Report() SLOReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	agg := make(map[string]*ForecastSLO)
+	var names []string
+	budgets := make(map[string]float64)
+	get := func(name string) *ForecastSLO {
+		f, ok := agg[name]
+		if !ok {
+			f = &ForecastSLO{Forecast: name}
+			agg[name] = f
+			names = append(names, name)
+		}
+		return f
+	}
+	for _, key := range m.order {
+		r := m.runs[key]
+		f := get(r.Forecast)
+		switch r.State {
+		case RunOnTime, RunLate:
+			f.Runs++
+			budgets[r.Forecast] += r.Deadline - r.End
+			if r.State == RunLate {
+				f.Late++
+				if over := r.End - r.Deadline; over > f.WorstLateness {
+					f.WorstLateness = over
+				}
+			} else {
+				f.OnTime++
+			}
+		case RunDropped:
+			f.Runs++
+			f.Dropped++
+		}
+	}
+	sort.Strings(names)
+	rep := SLOReport{Total: ForecastSLO{Forecast: "TOTAL"}}
+	var totalBudget float64
+	for _, n := range names {
+		f := agg[n]
+		if done := f.OnTime + f.Late; done > 0 {
+			f.Attainment = float64(f.OnTime) / float64(done)
+			f.MeanBudget = budgets[n] / float64(done)
+		} else {
+			f.Attainment = 1
+		}
+		rep.Forecasts = append(rep.Forecasts, *f)
+		rep.Total.Runs += f.Runs
+		rep.Total.OnTime += f.OnTime
+		rep.Total.Late += f.Late
+		rep.Total.Dropped += f.Dropped
+		totalBudget += budgets[n]
+		if f.WorstLateness > rep.Total.WorstLateness {
+			rep.Total.WorstLateness = f.WorstLateness
+		}
+	}
+	if done := rep.Total.OnTime + rep.Total.Late; done > 0 {
+		rep.Total.Attainment = float64(rep.Total.OnTime) / float64(done)
+		rep.Total.MeanBudget = totalBudget / float64(done)
+	} else {
+		rep.Total.Attainment = 1
+	}
+	return rep
+}
+
+// String renders the report as the foreman CLI's SLO table.
+func (r SLOReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %5s %7s %5s %7s %10s %12s %12s\n",
+		"forecast", "runs", "on-time", "late", "dropped", "attainment", "worst-late", "mean-budget")
+	row := func(f ForecastSLO) {
+		fmt.Fprintf(&b, "%-26s %5d %7d %5d %7d %9.1f%% %12s %12s\n",
+			f.Forecast, f.Runs, f.OnTime, f.Late, f.Dropped,
+			100*f.Attainment, hhmm(f.WorstLateness), hhmm(f.MeanBudget))
+	}
+	for _, f := range r.Forecasts {
+		row(f)
+	}
+	row(r.Total)
+	return b.String()
+}
+
+// hhmm renders a duration in seconds as ±h:mm.
+func hhmm(sec float64) string {
+	sign := ""
+	if sec < 0 {
+		sign = "-"
+		sec = -sec
+	}
+	h := int(sec) / 3600
+	m := (int(sec) % 3600) / 60
+	return fmt.Sprintf("%s%d:%02d", sign, h, m)
+}

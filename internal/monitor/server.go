@@ -1,0 +1,173 @@
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/telemetry"
+)
+
+// Server exposes the control room over HTTP:
+//
+//	GET /            live HTML dashboard (auto-refreshing)
+//	GET /healthz     liveness JSON: clock, tracked runs, firing alerts
+//	GET /metrics     the telemetry registry in Prometheus text format
+//	GET /api/status  the full Status snapshot as JSON
+//	GET /api/alerts  the alert history as JSON
+//	GET /api/slo     the SLO report as JSON
+//
+// Handlers read monitor snapshots under its lock and never touch the
+// simulation engine, so the server can run on wall-clock goroutines
+// while a campaign replays. All handlers are httptest-able via Handler.
+type Server struct {
+	mon *Monitor
+	reg *telemetry.Registry
+}
+
+// NewServer builds a Server for a monitor. reg (may be nil) backs
+// /metrics; pass the campaign's telemetry registry.
+func NewServer(mon *Monitor, reg *telemetry.Registry) *Server {
+	return &Server{mon: mon, reg: reg}
+}
+
+// Handler returns the control room's routing mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /api/status", s.handleStatus)
+	mux.HandleFunc("GET /api/alerts", s.handleAlerts)
+	mux.HandleFunc("GET /api/slo", s.handleSLO)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.mon.Status()
+	writeJSON(w, map[string]any{
+		"status":        "ok",
+		"sim_time":      st.Now,
+		"day":           st.Day,
+		"done":          st.Done,
+		"runs_tracked":  len(st.Runs),
+		"alerts_firing": st.Summary.AlertsFiring,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		http.Error(w, "no metrics registry configured", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.mon.Status())
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	alerts := s.mon.Alerts()
+	if r.URL.Query().Get("state") == StateFiring {
+		alerts = s.mon.FiringAlerts()
+	}
+	writeJSON(w, alerts)
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.mon.Report())
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, dashboardHTML)
+}
+
+// dashboardHTML is the minimal live dashboard: plain JS polling
+// /api/status, no external assets, so it renders from an air-gapped
+// operator console.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>forecast factory — control room</title>
+<style>
+body { font: 13px/1.5 monospace; margin: 1.5em; background: #111; color: #ddd; }
+h1 { font-size: 16px; } h2 { font-size: 14px; margin: 1em 0 .3em; }
+table { border-collapse: collapse; }
+td, th { padding: 2px 10px; border-bottom: 1px solid #333; text-align: left; }
+.ok { color: #7c7; } .warn { color: #fc6; } .crit { color: #f66; } .dim { color: #888; }
+.bar { display: inline-block; height: 9px; background: #4a8; vertical-align: middle; }
+</style>
+</head>
+<body>
+<h1>forecast factory — control room</h1>
+<div id="summary" class="dim">loading…</div>
+<h2>alerts</h2><table id="alerts"></table>
+<h2>runs</h2><table id="runs"></table>
+<h2>nodes</h2><table id="nodes"></table>
+<script>
+function hhmm(s) {
+  const sign = s < 0 ? "-" : ""; s = Math.abs(s);
+  return sign + Math.floor(s/3600) + ":" + String(Math.floor(s%3600/60)).padStart(2, "0");
+}
+function cls(state) {
+  return {late: "crit", "on-time": "ok", running: "", dropped: "warn",
+          critical: "crit", warning: "warn", info: "dim"}[state] || "";
+}
+async function refresh() {
+  try {
+    const st = await (await fetch("api/status")).json();
+    const sm = st.summary;
+    document.getElementById("summary").textContent =
+      "sim day " + st.day + " (t=" + hhmm(st.now) + ")" + (st.done ? " — campaign done" : "") +
+      " · running " + sm.running + " · on-time " + sm.on_time + " · late " + sm.late +
+      " · predicted-late " + sm.predicted_late + " · attainment " +
+      (100*sm.attainment).toFixed(1) + "% · alerts firing " + sm.alerts_firing;
+    const rows = (hdr, items, render, limit) => hdr +
+      items.slice(0, limit || 40).map(render).join("");
+    document.getElementById("alerts").innerHTML = rows(
+      "<tr><th>sev</th><th>rule</th><th>subject</th><th>message</th><th>fired</th></tr>",
+      st.firing.slice().reverse(),
+      a => '<tr><td class="' + cls(a.severity) + '">' + a.severity + (a.predicted ? " (predicted)" : "") +
+           "</td><td>" + a.rule + "</td><td>" + (a.forecast || "-") +
+           "</td><td>" + a.message + "</td><td>" + hhmm(a.fired_at) + "</td></tr>");
+    document.getElementById("runs").innerHTML = rows(
+      "<tr><th>forecast</th><th>day</th><th>node</th><th>state</th><th>progress</th>" +
+      "<th>eta</th><th>deadline</th><th>budget</th></tr>",
+      st.runs,
+      r => '<tr><td>' + r.forecast + "</td><td>" + r.day + "</td><td>" + r.node +
+           '</td><td class="' + cls(r.state) + '">' + r.state + (r.predicted_miss ? " ⚠" : "") +
+           '</td><td><span class="bar" style="width:' + Math.round(60*r.progress) + 'px"></span> ' +
+           Math.round(100*r.progress) + "%</td><td>" + (r.eta ? hhmm(r.eta) : "—") +
+           "</td><td>" + hhmm(r.deadline) + '</td><td class="' + (r.budget < 0 ? "crit" : "ok") + '">' +
+           hhmm(r.budget) + "</td></tr>");
+    document.getElementById("nodes").innerHTML = rows(
+      "<tr><th>node</th><th>cpus</th><th>utilization</th></tr>",
+      st.nodes || [],
+      n => "<tr><td>" + n.name + "</td><td>" + n.cpus +
+           '</td><td><span class="bar" style="width:' + Math.round(100*n.utilization) +
+           'px"></span> ' + (100*n.utilization).toFixed(1) + "%</td></tr>");
+  } catch (e) {
+    document.getElementById("summary").textContent = "status fetch failed: " + e;
+  }
+}
+refresh();
+setInterval(refresh, 2000);
+</script>
+</body>
+</html>
+`

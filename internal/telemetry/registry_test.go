@@ -135,6 +135,30 @@ func TestConcurrentWriters(t *testing.T) {
 	}
 }
 
+// TestDescribeThenConcurrentFirstUse covers the race between Describe
+// pre-declaring a family and its first concurrent instrument use
+// resolving the family kind.
+func TestDescribeThenConcurrentFirstUse(t *testing.T) {
+	r := NewRegistry()
+	r.Describe("racy_total", "pre-declared")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Counter("racy_total", nil).Inc()
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Help != "pre-declared" || snap[0].Kind != KindCounter {
+		t.Fatalf("snapshot = %+v, want one described counter family", snap)
+	}
+	if got := snap[0].Series[0].Value; got != 8 {
+		t.Fatalf("racy_total = %v, want 8", got)
+	}
+}
+
 func TestWritePrometheus(t *testing.T) {
 	r := NewRegistry()
 	r.Describe("runs_total", "Completed factory runs.")
