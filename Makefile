@@ -25,8 +25,11 @@ race:
 
 check: test vet race
 
+# Experiment benchmarks plus the harvest pipeline's machine-readable
+# report (BENCH_harvest.json, uploaded as a CI artifact).
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx .
+	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/harvest
+	BENCH_OUT=$(CURDIR)/BENCH_harvest.json $(GO) test -run TestEmitBenchReport -v ./internal/harvest
 
 clean:
 	$(GO) clean ./...

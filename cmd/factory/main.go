@@ -7,11 +7,18 @@
 // status/alert APIs. Combine with -replay-rate to slow the replay to an
 // observable pace.
 //
+// With -harvest-interval the continuous harvest pipeline runs alongside
+// the campaign: every N sim-hours an incremental pass crawls the run
+// tree into the statistics database under watermark control, and the
+// control room gains the harvest panel plus data-quality alerts
+// (harvest staleness, quarantine-rate spikes).
+//
 // Usage:
 //
 //	factory [-scenario fig8|fig9|growth] [-config file.json] [-forecast name]
 //	        [-days n] [-snapshot hours] [-metrics-out file] [-trace-out file]
 //	        [-monitor-addr host:port] [-replay-rate simsec-per-sec]
+//	        [-harvest-interval hours] [-runs-dir dir]
 package main
 
 import (
@@ -21,14 +28,17 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"time"
 
 	"repro/internal/config"
 	"repro/internal/factory"
+	"repro/internal/harvest"
 	"repro/internal/logs"
 	"repro/internal/monitor"
 	"repro/internal/plot"
+	"repro/internal/statsdb"
 	"repro/internal/telemetry"
 )
 
@@ -42,6 +52,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write the campaign trace as Chrome trace-event JSON to this file")
 	monitorAddr := flag.String("monitor-addr", "", "serve the control room (dashboard, /metrics, status and alert APIs) on this address while the campaign replays")
 	replayRate := flag.Float64("replay-rate", 0, "pace the replay at this many sim-seconds per wall-second (0 = full speed; needs -monitor-addr to be observable)")
+	harvestInterval := flag.Float64("harvest-interval", 0, "run an incremental harvest pass every this many sim-hours (0 = off)")
+	runsDir := flag.String("runs-dir", "", "mirror every run log into this real directory tree (harvestable later with foreman -harvest)")
 	flag.Parse()
 
 	var cfg factory.Config
@@ -101,7 +113,7 @@ func main() {
 	}
 
 	var tel *telemetry.Telemetry
-	if *metricsOut != "" || *traceOut != "" || *monitorAddr != "" {
+	if *metricsOut != "" || *traceOut != "" || *monitorAddr != "" || *harvestInterval > 0 {
 		tel = telemetry.New()
 		cfg.Telemetry = tel
 	}
@@ -112,12 +124,60 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *runsDir != "" {
+		// Mirror every run-log write into a real directory tree, laid out
+		// exactly like the campaign's virtual one, so a later
+		// `foreman -harvest <dir>` picks up where the campaign left off.
+		c.AddRunLogHook(func(r *logs.RunRecord) {
+			dir := filepath.Join(*runsDir, r.Forecast, fmt.Sprintf("%d-%03d", r.Year, r.Day))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "runs-dir:", err)
+				return
+			}
+			if err := os.WriteFile(filepath.Join(dir, "run.log"), []byte(logs.Format(r)), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "runs-dir:", err)
+			}
+		})
+	}
+
+	// Continuous harvest: an incremental pass over the run tree every
+	// interval, journalled beside it, feeding the statistics database the
+	// provenance queries and data-quality alerts read from.
+	var harv *harvest.Harvester
+	if *harvestInterval > 0 {
+		harv, err = harvest.New(c.FS(), statsdb.NewDB(),
+			harvest.NewVFSJournal(c.FS(), "/harvest/journal.jsonl"),
+			harvest.Options{Telemetry: tel, Clock: c.Engine().Now})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		harvest.Schedule(c.Engine(), harv, *harvestInterval*3600, c.Horizon(), func(err error) {
+			fmt.Fprintln(os.Stderr, "harvest:", err)
+		})
+	}
+
 	// Control room: attach the monitor before the campaign runs, serve it
 	// from a wall-clock goroutine while the simulation replays.
 	var mon *monitor.Monitor
 	var servedAddr net.Addr
 	if *monitorAddr != "" {
-		mon = monitor.New(monitor.DefaultOptions(), tel.Registry())
+		opts := monitor.DefaultOptions()
+		if harv != nil {
+			// Data-quality rules over the harvest pipeline's own metrics:
+			// page when the harvester's heartbeat goes quiet for two
+			// intervals, and when quarantines spike (bad logs arriving
+			// faster than one per sim-hour means something upstream broke).
+			opts.Staleness = []monitor.StalenessRule{{
+				Name: "harvest_stale", Metric: harvest.MetricLastPassTime,
+				MaxAge: 2 * *harvestInterval * 3600, Severity: monitor.SevCritical,
+			}}
+			opts.Rates = []monitor.RateRule{{
+				Name: "quarantine_spike", Metric: harvest.MetricQuarantinedTotal,
+				PerHourAbove: 1, Severity: monitor.SevWarning,
+			}}
+		}
+		mon = monitor.New(opts, tel.Registry())
 		mon.Attach(c)
 		ln, err := net.Listen("tcp", *monitorAddr)
 		if err != nil {
@@ -125,6 +185,9 @@ func main() {
 			os.Exit(1)
 		}
 		srv := monitor.NewServer(mon, tel.Registry())
+		if harv != nil {
+			srv.AttachHarvest(func() any { return harv.Status() })
+		}
 		go func() {
 			if err := http.Serve(ln, srv.Handler()); err != nil {
 				fmt.Fprintln(os.Stderr, err)
@@ -161,6 +224,13 @@ func main() {
 		}
 	}
 	results := c.Finish()
+	if harv != nil {
+		// One closing pass picks up logs written after the last scheduled
+		// harvest (drain-time completions).
+		if _, err := harv.Pass(); err != nil {
+			fmt.Fprintln(os.Stderr, "harvest:", err)
+		}
+	}
 	if mon != nil {
 		mon.Finalize(c.Engine().Now())
 	}
@@ -196,6 +266,15 @@ func main() {
 	fmt.Println("\nnode utilization:")
 	for _, n := range c.Cluster().Nodes() {
 		fmt.Printf("  %-10s %5.1f%%\n", n.Name(), 100*n.Utilization())
+	}
+
+	if harv != nil {
+		st := harv.Status()
+		fmt.Printf("\nharvest pipeline: %d passes, %d records ingested (%d updated), %d watermark hits, %d quarantined\n",
+			st.Passes, st.Totals.Ingested, st.Totals.Updated, st.Totals.WatermarkHits, st.Totals.Quarantined)
+		for _, q := range st.Quarantine {
+			fmt.Printf("  quarantined: %s (%s)\n", q.Path, q.Error)
+		}
 	}
 
 	if *metricsOut != "" {

@@ -11,6 +11,7 @@
 //	foreman [-heuristic stay-put|ffd|bfd|wfd] [-fail node] [-policy minimal|reshuffle]
 //	        [-move run=node] [-scripts] [-hindcast n] [-sql query] [-now hour]
 //	        [-slo] [-metrics-out file] [-trace-out file]
+//	        [-harvest dir] [-provenance code-version]
 //
 // The -sql flag accepts the statsdb SELECT subset, including JOINs against
 // the nodes table and EXPLAIN; the bootstrap campaign's trace spans are
@@ -18,24 +19,38 @@
 // monitor's alert history into an "alerts" table joinable against runs.
 // -slo prints the monitor's deadline-attainment report and alert history
 // for the bootstrap campaign.
+//
+// Run records reach the database through the incremental harvest
+// pipeline in both modes: the bootstrap campaign's virtual run tree is
+// harvested in place, while -harvest <dir> ingests a real directory tree
+// (for example one written by `factory -runs-dir`), keeping a watermark
+// journal and a record snapshot (<dir>/.harvest-journal.jsonl and
+// .harvest-snapshot.jsonl) so repeated invocations only re-read logs that
+// changed. -provenance answers the paper's manageability query —
+// which forecasts used a given code version — from the harvested rows.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/factory"
 	"repro/internal/forecast"
+	"repro/internal/harvest"
 	"repro/internal/logs"
 	"repro/internal/monitor"
 	"repro/internal/plot"
 	"repro/internal/statsdb"
 	"repro/internal/telemetry"
+	"repro/internal/vfs"
 )
 
 // plantSpecs builds the paper's ten daily forecasts.
@@ -88,6 +103,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write bootstrap + planner metrics in Prometheus text format to this file")
 	traceOut := flag.String("trace-out", "", "write the bootstrap + planner trace as Chrome trace-event JSON to this file")
 	sloFlag := flag.Bool("slo", false, "print the control-room SLO report and alert history for the bootstrap campaign")
+	harvestDir := flag.String("harvest", "", "harvest run logs incrementally from this real directory tree instead of bootstrapping a simulated campaign")
+	provenanceFlag := flag.String("provenance", "", "report every forecast using this code version from the harvested database, then exit")
 	flag.Parse()
 
 	h, ok := heuristicByName(*heuristicFlag)
@@ -96,14 +113,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	// 1. Bootstrap history: run the factory for a few days and harvest
-	// the logs, as the nightly Perl crawlers do.
+	// 1. History: either harvest a real directory tree incrementally, or
+	// bootstrap one by running the factory for a few days and harvesting
+	// its virtual run tree — the pipeline replacement for the nightly
+	// one-shot Perl crawlers.
 	specs := plantSpecs()
 	nodeSpecs := factory.DefaultNodes()
-	assignments := make([]factory.Assignment, len(specs))
-	for i, s := range specs {
-		assignments[i] = factory.Assignment{Spec: s, Node: nodeSpecs[i%len(nodeSpecs)].Name}
-	}
 	// -sql turns collection on too: the bootstrap trace becomes the
 	// "spans" table, queryable whether or not an export file was asked
 	// for.
@@ -114,54 +129,88 @@ func main() {
 		defer core.SetTelemetry(nil)
 	}
 
-	campaign, err := factory.New(factory.Config{
-		Days:      *bootstrapDays,
-		Nodes:     nodeSpecs,
-		Forecasts: assignments,
-		Telemetry: tel,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	// The control room watches the bootstrap campaign: its alert history
-	// becomes the "alerts" table and its SLO report backs -slo.
-	var mon *monitor.Monitor
-	if tel != nil {
-		mon = monitor.New(monitor.DefaultOptions(), tel.Registry())
-		mon.Attach(campaign)
-	}
-	campaign.Run()
-	if mon != nil {
-		mon.Finalize(campaign.Engine().Now())
-	}
-	records, err := logs.Crawl(campaign.FS(), "/runs")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("bootstrapped %d run records over %d days\n", len(records), *bootstrapDays)
-
 	db := statsdb.NewDB()
-	if _, err := statsdb.LoadRuns(db, records); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if tel != nil {
-		// The bootstrap trace is queryable alongside the run records.
-		if _, err := statsdb.LoadSpans(db, tel.Trace().Spans()); err != nil {
+	var records []*logs.RunRecord
+	var mon *monitor.Monitor
+
+	if *harvestDir != "" {
+		records = harvestOSTree(db, *harvestDir)
+	} else {
+		assignments := make([]factory.Assignment, len(specs))
+		for i, s := range specs {
+			assignments[i] = factory.Assignment{Spec: s, Node: nodeSpecs[i%len(nodeSpecs)].Name}
+		}
+		campaign, err := factory.New(factory.Config{
+			Days:      *bootstrapDays,
+			Nodes:     nodeSpecs,
+			Forecasts: assignments,
+			Telemetry: tel,
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-	}
-	if mon != nil {
-		// Control-room alert history joins against runs via -sql.
-		if _, err := monitor.LoadAlerts(db, mon.Alerts()); err != nil {
+		// The control room watches the bootstrap campaign: its alert history
+		// becomes the "alerts" table and its SLO report backs -slo.
+		if tel != nil {
+			mon = monitor.New(monitor.DefaultOptions(), tel.Registry())
+			mon.Attach(campaign)
+		}
+		campaign.Run()
+		if mon != nil {
+			mon.Finalize(campaign.Engine().Now())
+		}
+		// Harvest the campaign's run tree into the database (watermarked
+		// and quarantining, like the continuous pipeline would).
+		h, err := harvest.New(campaign.FS(), db,
+			harvest.NewVFSJournal(campaign.FS(), "/harvest/journal.jsonl"),
+			harvest.Options{Telemetry: tel, Clock: campaign.Engine().Now})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		st, err := h.Pass()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, q := range h.Quarantine() {
+			fmt.Fprintf(os.Stderr, "quarantined: %s (%s)\n", q.Path, q.Error)
+		}
+		records, err = h.Records()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("bootstrapped %d run records over %d days (%d quarantined)\n",
+			len(records), *bootstrapDays, st.Quarantined)
+		if tel != nil {
+			// The bootstrap trace is queryable alongside the run records.
+			if _, err := statsdb.LoadSpans(db, tel.Trace().Spans()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if mon != nil {
+			// Control-room alert history joins against runs via -sql.
+			if _, err := monitor.LoadAlerts(db, mon.Alerts()); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
-	if *sloFlag {
+
+	if *provenanceFlag != "" {
+		defer flushTelemetry(tel, *metricsOut, *traceOut)
+		p, err := harvest.QueryProvenance(db, *provenanceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(p.String())
+		return
+	}
+	if *sloFlag && mon != nil {
 		fmt.Println("\nSLO report (deadline attainment):")
 		fmt.Print(mon.Report())
 		alerts := mon.Alerts()
@@ -304,6 +353,98 @@ func main() {
 	}
 
 	flushTelemetry(tel, *metricsOut, *traceOut)
+}
+
+// osFS adapts a real directory tree to the harvester's FS interface,
+// mounting the tree root at "/runs" so journal paths and source_path
+// columns stay stable no matter where the tree lives on disk. ReadFile
+// only touches disk when the harvester asks, so watermark hits cost one
+// stat, not one read.
+type osFS struct{ root string }
+
+func (o osFS) real(vpath string) string {
+	return filepath.Join(o.root, filepath.FromSlash(strings.TrimPrefix(vpath, "/runs")))
+}
+
+func (o osFS) Walk(root string, fn func(vfs.FileInfo) error) error {
+	return filepath.WalkDir(o.root, func(p string, d iofs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(o.root, p)
+		if err != nil {
+			return err
+		}
+		vpath := "/runs"
+		if rel != "." {
+			vpath = "/runs/" + filepath.ToSlash(rel)
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		return fn(vfs.FileInfo{
+			Path:  vpath,
+			Name:  d.Name(),
+			Size:  info.Size(),
+			MTime: float64(info.ModTime().Unix()),
+			IsDir: d.IsDir(),
+		})
+	})
+}
+
+func (o osFS) ReadFile(path string) (string, error) {
+	data, err := os.ReadFile(o.real(path))
+	return string(data), err
+}
+
+func (o osFS) Exists(path string) bool {
+	_, err := os.Stat(o.real(path))
+	return err == nil
+}
+
+// harvestOSTree runs one incremental harvest pass over a real directory
+// tree and returns the accumulated records. The journal and a record
+// snapshot both live inside the tree, so repeated invocations re-read
+// only logs that changed: the snapshot warms the in-memory database and
+// the journal's watermarks vouch for its rows.
+func harvestOSTree(db *statsdb.DB, root string) []*logs.RunRecord {
+	if _, err := os.Stat(root); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	snapshot := filepath.Join(root, ".harvest-snapshot.jsonl")
+	if _, err := harvest.LoadSnapshot(db, snapshot); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	h, err := harvest.New(osFS{root: root}, db,
+		harvest.NewOSJournal(filepath.Join(root, ".harvest-journal.jsonl")),
+		harvest.Options{Clock: func() float64 { return float64(time.Now().Unix()) }})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st, err := h.Pass()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("harvest %s: scanned %d, ingested %d, updated %d, unchanged %d, quarantined %d\n",
+		root, st.Scanned, st.Ingested, st.Updated, st.WatermarkHits, st.Quarantined)
+	for _, q := range h.Quarantine() {
+		fmt.Fprintf(os.Stderr, "quarantined: %s (%s)\n", q.Path, q.Error)
+	}
+	records, err := h.Records()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := harvest.SaveSnapshot(snapshot, records); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	return records
 }
 
 // flushTelemetry writes the telemetry exports requested on the command

@@ -247,6 +247,13 @@ func (c *Campaign) Spec(name string) *forecast.Spec { return c.specs[name] }
 // AssignedNode returns the node a forecast currently runs on.
 func (c *Campaign) AssignedNode(name string) string { return c.assign[name] }
 
+// Forecasts returns the configured forecast names in configuration order —
+// the expected-production roster data-quality rules check against.
+func (c *Campaign) Forecasts() []string { return append([]string(nil), c.order...) }
+
+// Days returns the number of simulated days in the campaign.
+func (c *Campaign) Days() int { return c.cfg.Days }
+
 // dayTime converts a day-of-year to campaign seconds.
 func (c *Campaign) dayTime(day int) float64 {
 	return float64(day-c.cfg.StartDay) * SecondsPerDay

@@ -1,0 +1,537 @@
+// Package harvest is the factory's continuous log-ingestion pipeline: an
+// incremental, fault-tolerant harvester that crawls run directories,
+// parses run logs, and upserts them into the statistics database.
+//
+// The paper's §4.3.2 crawler is a nightly one-shot: walk every run
+// directory, parse every log, reload the database. That neither scales
+// (every pass re-reads the whole year) nor survives corruption (one bad
+// log aborts the load). This harvester instead keeps a per-file watermark
+// (mtime + size + content hash) persisted in a crash-safe JSONL journal:
+// unchanged files are skipped without reading their bodies, corrupt files
+// are quarantined with their ParseError rather than aborting the pass,
+// and a crash mid-pass resumes idempotently because ingestion is an
+// upsert keyed on (forecast, day, start) and the journal line for a file
+// is appended only after its database write.
+//
+// Ingestion is versioned: Migrations evolves the runs table with the
+// provenance columns (harvested_at, source_path) that power the paper's
+// "find all forecasts that use code version X" query as a first-class
+// report (QueryProvenance).
+//
+// The harvester is itself observable: telemetry counters, gauges, and
+// histograms under harvest_*, one trace span per pass, and a Status
+// snapshot served by the control room's /api/harvest endpoint.
+package harvest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/logs"
+	"repro/internal/sim"
+	"repro/internal/statsdb"
+	"repro/internal/telemetry"
+	"repro/internal/vfs"
+)
+
+// Harvest metric names, exported so alert rules (monitor.StalenessRule,
+// monitor.RateRule) can reference them without importing this package's
+// internals.
+const (
+	MetricPassesTotal       = "harvest_passes_total"
+	MetricFilesScannedTotal = "harvest_files_scanned_total"
+	MetricBodiesReadTotal   = "harvest_log_reads_total"
+	MetricIngestedTotal     = "harvest_records_ingested_total"
+	MetricUpdatedTotal      = "harvest_records_updated_total"
+	MetricQuarantinedTotal  = "harvest_quarantined_total"
+	MetricWatermarkHits     = "harvest_watermark_hits_total"
+	MetricLastPassTime      = "harvest_last_pass_timestamp"
+	MetricWatermarkLag      = "harvest_watermark_lag_seconds"
+	MetricWatermarks        = "harvest_watermarks"
+	MetricQuarantineSize    = "harvest_quarantine_size"
+	MetricPassWallSeconds   = "harvest_pass_wall_seconds"
+)
+
+// FS is the slice of vfs.FS the harvester needs. Tests substitute a
+// counting wrapper to prove the watermark fast path reads no log bodies.
+type FS interface {
+	Walk(root string, fn func(info vfs.FileInfo) error) error
+	ReadFile(path string) (string, error)
+	Exists(path string) bool
+}
+
+// Options configure a Harvester. The zero value harvests /runs with no
+// telemetry.
+type Options struct {
+	// Root is the run-tree root to crawl (default "/runs").
+	Root string
+	// LogName is the per-run log file name (default "run.log").
+	LogName string
+	// Telemetry receives the harvester's metrics and pass spans (nil
+	// disables collection).
+	Telemetry *telemetry.Telemetry
+	// Clock supplies sim time for watermarks, harvested_at, and the
+	// staleness gauge (nil pins it at 0). Campaigns pass Engine.Now.
+	Clock func() float64
+	// OnRecord, when set, is called with every record ingested or
+	// updated — how a monitor feeds from the harvest rather than from
+	// in-script hooks.
+	OnRecord func(*logs.RunRecord)
+}
+
+// Migrations returns the schema migrations the harvester applies to its
+// database before ingesting:
+//
+//	v1 create-runs            the base runs table with its indexes
+//	v2 runs-provenance        adds harvested_at and source_path columns
+//
+// Both are idempotent against databases that already carry the state, so
+// a harvester can adopt a database built by one-shot LoadRuns.
+func Migrations() []statsdb.Migration {
+	return []statsdb.Migration{
+		{Version: 1, Name: "create-runs", Apply: func(db *statsdb.DB) error {
+			_, err := statsdb.EnsureRunsTable(db)
+			return err
+		}},
+		{Version: 2, Name: "runs-provenance", Apply: func(db *statsdb.DB) error {
+			t, err := statsdb.EnsureRunsTable(db)
+			if err != nil {
+				return err
+			}
+			if t.Schema().Index(statsdb.ColHarvestedAt) < 0 {
+				err = t.AddColumn(statsdb.Column{Name: statsdb.ColHarvestedAt, Type: statsdb.Float}, statsdb.FloatVal(0))
+				if err != nil {
+					return err
+				}
+			}
+			if t.Schema().Index(statsdb.ColSourcePath) < 0 {
+				err = t.AddColumn(statsdb.Column{Name: statsdb.ColSourcePath, Type: statsdb.String}, statsdb.StringVal(""))
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+	}
+}
+
+// PassStats summarizes one harvest pass.
+type PassStats struct {
+	Pass int     `json:"pass"`
+	At   float64 `json:"at"` // sim time the pass ran
+	// WallSeconds is the real-time latency of the pass. Passes execute at
+	// a single sim instant, so their cost is wall-clock, not sim-clock.
+	WallSeconds   float64 `json:"wall_seconds"`
+	Scanned       int     `json:"scanned"`
+	WatermarkHits int     `json:"watermark_hits"`
+	BodiesRead    int     `json:"bodies_read"`
+	Refreshed     int     `json:"refreshed"` // mtime changed, content did not
+	Ingested      int     `json:"ingested"`
+	Updated       int     `json:"updated"`
+	Quarantined   int     `json:"quarantined"`
+}
+
+// QuarantineEntry is one corrupt log held out of the database.
+type QuarantineEntry struct {
+	Path  string  `json:"path"`
+	Error string  `json:"error"`
+	At    float64 `json:"at"`
+}
+
+// Status is the harvester's observable state, served as /api/harvest.
+type Status struct {
+	Root          string            `json:"root"`
+	Passes        int               `json:"passes"`
+	LastPass      PassStats         `json:"last_pass"`
+	Watermarks    int               `json:"watermarks"`
+	WatermarkLag  float64           `json:"watermark_lag_seconds"`
+	SchemaVersion int64             `json:"schema_version"`
+	TornLines     int               `json:"torn_journal_lines,omitempty"`
+	// Recovered counts journal watermarks dropped at startup because
+	// their rows were missing from the database (the files re-read on the
+	// next pass).
+	Recovered  int               `json:"recovered_watermarks,omitempty"`
+	Totals     Totals            `json:"totals"`
+	Quarantine []QuarantineEntry `json:"quarantine,omitempty"`
+}
+
+// Totals accumulate across every pass since the journal began.
+type Totals struct {
+	Scanned       int `json:"scanned"`
+	WatermarkHits int `json:"watermark_hits"`
+	BodiesRead    int `json:"bodies_read"`
+	Ingested      int `json:"ingested"`
+	Updated       int `json:"updated"`
+	Quarantined   int `json:"quarantined"`
+}
+
+// Harvester incrementally ingests a run tree into a statistics database.
+// Create with New; Pass is safe to call from the engine goroutine while
+// Status is read from HTTP handlers.
+type Harvester struct {
+	mu      sync.Mutex
+	fs      FS
+	db      *statsdb.DB
+	journal JournalStore
+	opts    Options
+
+	marks     map[string]*Watermark
+	passes    int
+	lastPass  PassStats
+	totals    Totals
+	torn      int
+	recovered int
+
+	// onIngest, when set (tests only), runs after a record's database
+	// upsert and before its journal append — the crash window the
+	// journal's ordering contract protects. A non-nil error aborts the
+	// pass as a crash would.
+	onIngest func(path string) error
+
+	mPasses      *telemetry.Counter
+	mScanned     *telemetry.Counter
+	mBodies      *telemetry.Counter
+	mIngested    *telemetry.Counter
+	mUpdated     *telemetry.Counter
+	mQuarantined *telemetry.Counter
+	mHits        *telemetry.Counter
+	mLastPass    *telemetry.Gauge
+	mLag         *telemetry.Gauge
+	mMarks       *telemetry.Gauge
+	mQuarSize    *telemetry.Gauge
+	mPassWall    *telemetry.Histogram
+}
+
+// New builds a Harvester over fs, ingesting into db through journal.
+// It applies the schema migrations to db and replays the journal so a
+// restarted harvester resumes from its watermarks instead of re-scanning.
+func New(fs FS, db *statsdb.DB, journal JournalStore, opts Options) (*Harvester, error) {
+	if fs == nil || db == nil || journal == nil {
+		return nil, fmt.Errorf("harvest: fs, db, and journal are all required")
+	}
+	if opts.Root == "" {
+		opts.Root = "/runs"
+	}
+	if opts.LogName == "" {
+		opts.LogName = "run.log"
+	}
+	if opts.Clock == nil {
+		opts.Clock = func() float64 { return 0 }
+	}
+	if _, err := statsdb.Migrate(db, Migrations()); err != nil {
+		return nil, err
+	}
+	marks, lastPass, passes, torn, err := loadJournal(journal)
+	if err != nil {
+		return nil, fmt.Errorf("harvest: load journal: %w", err)
+	}
+	recovered := pruneStaleMarks(db, marks)
+	h := &Harvester{
+		fs:        fs,
+		db:        db,
+		journal:   journal,
+		opts:      opts,
+		marks:     marks,
+		passes:    passes,
+		lastPass:  lastPass,
+		torn:      torn,
+		recovered: recovered,
+	}
+	reg := opts.Telemetry.Registry()
+	reg.Describe(MetricPassesTotal, "Harvest passes completed.")
+	reg.Describe(MetricFilesScannedTotal, "Run logs considered across all passes.")
+	reg.Describe(MetricBodiesReadTotal, "Run log bodies actually read (watermark misses).")
+	reg.Describe(MetricIngestedTotal, "Run records newly inserted into statsdb.")
+	reg.Describe(MetricUpdatedTotal, "Run records updated in place (content changed).")
+	reg.Describe(MetricQuarantinedTotal, "Corrupt run logs quarantined instead of ingested.")
+	reg.Describe(MetricWatermarkHits, "Run logs skipped unchanged (mtime+size watermark hit).")
+	reg.Describe(MetricLastPassTime, "Sim time the last harvest pass completed — staleness rules watch this.")
+	reg.Describe(MetricWatermarkLag, "Sim seconds between now and the newest harvested log mtime.")
+	reg.Describe(MetricWatermarks, "Run logs currently covered by a watermark.")
+	reg.Describe(MetricQuarantineSize, "Corrupt run logs currently quarantined.")
+	reg.Describe(MetricPassWallSeconds, "Wall-clock latency of harvest passes.")
+	h.mPasses = reg.Counter(MetricPassesTotal, nil)
+	h.mScanned = reg.Counter(MetricFilesScannedTotal, nil)
+	h.mBodies = reg.Counter(MetricBodiesReadTotal, nil)
+	h.mIngested = reg.Counter(MetricIngestedTotal, nil)
+	h.mUpdated = reg.Counter(MetricUpdatedTotal, nil)
+	h.mQuarantined = reg.Counter(MetricQuarantinedTotal, nil)
+	h.mHits = reg.Counter(MetricWatermarkHits, nil)
+	h.mLastPass = reg.Gauge(MetricLastPassTime, nil)
+	h.mLag = reg.Gauge(MetricWatermarkLag, nil)
+	h.mMarks = reg.Gauge(MetricWatermarks, nil)
+	h.mQuarSize = reg.Gauge(MetricQuarantineSize, nil)
+	h.mPassWall = reg.Histogram(MetricPassWallSeconds,
+		[]float64{0.0001, 0.001, 0.01, 0.1, 1, 10}, nil)
+	h.refreshGaugesLocked()
+	return h, nil
+}
+
+// pruneStaleMarks drops every non-quarantined watermark whose row is
+// missing from the database. The journal and the database have
+// independent lifetimes — an in-memory database restarts empty while its
+// journal persists on disk — and a watermark without its row would
+// silently skip a file whose data was lost. Dropping the mark forces a
+// re-read, which the idempotent upsert absorbs; quarantined marks carry
+// no rows by design and are kept.
+func pruneStaleMarks(db *statsdb.DB, marks map[string]*Watermark) int {
+	if len(marks) == 0 {
+		return 0
+	}
+	have := map[string]bool{}
+	if t := db.Table(statsdb.RunsTableName); t != nil && t.Schema().Index(statsdb.ColSourcePath) >= 0 {
+		if res, err := statsdb.Select(t, statsdb.ColSourcePath).Run(); err == nil {
+			for _, row := range res.Rows {
+				have[row[0].Str()] = true
+			}
+		}
+	}
+	dropped := 0
+	for path, wm := range marks {
+		if wm.Quarantined || have[path] {
+			continue
+		}
+		delete(marks, path)
+		dropped++
+	}
+	return dropped
+}
+
+// DB returns the database the harvester ingests into.
+func (h *Harvester) DB() *statsdb.DB { return h.db }
+
+// Pass runs one incremental harvest over the tree: scan every run log,
+// skip files whose watermark still matches, parse and upsert the rest,
+// quarantine what fails to parse. The error return covers infrastructure
+// failures (journal writes, walk errors) only; parse failures never abort
+// a pass.
+func (h *Harvester) Pass() (PassStats, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	now := h.opts.Clock()
+	wallStart := time.Now()
+	span := h.opts.Telemetry.Trace().Begin("harvest", fmt.Sprintf("pass-%03d", h.passes+1), "harvest", nil)
+	stats := PassStats{Pass: h.passes + 1, At: now}
+
+	err := func() error {
+		if !h.fs.Exists(h.opts.Root) {
+			return nil // nothing harvested yet; an empty pass, not an error
+		}
+		return h.fs.Walk(h.opts.Root, func(info vfs.FileInfo) error {
+			if info.IsDir || info.Name != h.opts.LogName {
+				return nil
+			}
+			stats.Scanned++
+			h.mScanned.Inc()
+
+			wm := h.marks[info.Path]
+			if wm != nil && wm.MTime == info.MTime && wm.Size == info.Size {
+				// Watermark hit: nothing about the file changed; its body
+				// is never read.
+				stats.WatermarkHits++
+				h.mHits.Inc()
+				return nil
+			}
+
+			body, err := h.fs.ReadFile(info.Path)
+			if err != nil {
+				// Size-only or vanished files are quarantined like corrupt
+				// ones; a transient read failure retries next pass because
+				// no watermark advances.
+				return h.quarantineLocked(&stats, info, "", now, err)
+			}
+			stats.BodiesRead++
+			h.mBodies.Inc()
+			hash := fnvHash(body)
+			if wm != nil && wm.Hash == hash && !wm.Quarantined {
+				// Touched but unchanged (a re-copied file, a rewritten
+				// identical log): refresh the watermark, skip the ingest.
+				stats.Refreshed++
+				return h.markLocked(&Watermark{
+					Path: info.Path, MTime: info.MTime, Size: info.Size, Hash: hash, At: wm.At,
+				})
+			}
+
+			rec, err := logs.ParseFrom(body, info.Path)
+			if err != nil {
+				return h.quarantineLocked(&stats, info, hash, now, err)
+			}
+			_, up, err := statsdb.UpsertRuns(h.db, []*logs.RunRecord{rec}, now)
+			if err != nil {
+				return err
+			}
+			stats.Ingested += up.Inserted
+			stats.Updated += up.Updated
+			h.mIngested.Add(float64(up.Inserted))
+			h.mUpdated.Add(float64(up.Updated))
+			if h.onIngest != nil {
+				if err := h.onIngest(info.Path); err != nil {
+					return err
+				}
+			}
+			if err := h.markLocked(&Watermark{
+				Path: info.Path, MTime: info.MTime, Size: info.Size, Hash: hash, At: now,
+			}); err != nil {
+				return err
+			}
+			if h.opts.OnRecord != nil {
+				h.opts.OnRecord(rec)
+			}
+			return nil
+		})
+	}()
+	if err != nil {
+		span.SetArg("aborted", "true")
+		span.EndSpan()
+		return stats, err
+	}
+
+	stats.WallSeconds = time.Since(wallStart).Seconds()
+	h.passes++
+	stats.Pass = h.passes
+	h.lastPass = stats
+	h.totals.Scanned += stats.Scanned
+	h.totals.WatermarkHits += stats.WatermarkHits
+	h.totals.BodiesRead += stats.BodiesRead
+	h.totals.Ingested += stats.Ingested
+	h.totals.Updated += stats.Updated
+	h.totals.Quarantined += stats.Quarantined
+	h.mPasses.Inc()
+	h.mLastPass.Set(now)
+	h.mPassWall.Observe(stats.WallSeconds)
+	h.refreshGaugesLocked()
+	span.SetArg("scanned", fmt.Sprint(stats.Scanned))
+	span.SetArg("ingested", fmt.Sprint(stats.Ingested))
+	span.SetArg("quarantined", fmt.Sprint(stats.Quarantined))
+	span.EndSpan()
+	if err := appendEntry(h.journal, journalEntry{Type: entryPass, Pass: &stats}); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// markLocked records a watermark in memory and appends it to the journal.
+func (h *Harvester) markLocked(wm *Watermark) error {
+	h.marks[wm.Path] = wm
+	return appendEntry(h.journal, journalEntry{Type: entryWatermark, Watermark: wm})
+}
+
+// quarantineLocked holds a corrupt file out of the database, watermarked
+// so it is not re-read until it changes.
+func (h *Harvester) quarantineLocked(stats *PassStats, info vfs.FileInfo, hash string, now float64, cause error) error {
+	stats.Quarantined++
+	h.mQuarantined.Inc()
+	return h.markLocked(&Watermark{
+		Path: info.Path, MTime: info.MTime, Size: info.Size, Hash: hash, At: now,
+		Quarantined: true, Error: cause.Error(),
+	})
+}
+
+// refreshGaugesLocked recomputes the derived gauges after a pass or load.
+func (h *Harvester) refreshGaugesLocked() {
+	h.mMarks.Set(float64(len(h.marks)))
+	quar := 0
+	newest := 0.0
+	for _, wm := range h.marks {
+		if wm.Quarantined {
+			quar++
+		}
+		if wm.MTime > newest {
+			newest = wm.MTime
+		}
+	}
+	h.mQuarSize.Set(float64(quar))
+	if len(h.marks) > 0 {
+		lag := h.opts.Clock() - newest
+		if lag < 0 {
+			lag = 0
+		}
+		h.mLag.Set(lag)
+	}
+}
+
+// Status snapshots the harvester for the /api/harvest endpoint and the
+// dashboard's harvest panel.
+func (h *Harvester) Status() Status {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st := Status{
+		Root:          h.opts.Root,
+		Passes:        h.passes,
+		LastPass:      h.lastPass,
+		Watermarks:    len(h.marks),
+		SchemaVersion: statsdb.SchemaVersion(h.db),
+		TornLines:     h.torn,
+		Recovered:     h.recovered,
+		Totals:        h.totals,
+	}
+	newest := 0.0
+	for _, wm := range h.marks {
+		if wm.Quarantined {
+			st.Quarantine = append(st.Quarantine, QuarantineEntry{Path: wm.Path, Error: wm.Error, At: wm.At})
+		}
+		if wm.MTime > newest {
+			newest = wm.MTime
+		}
+	}
+	sort.Slice(st.Quarantine, func(i, j int) bool { return st.Quarantine[i].Path < st.Quarantine[j].Path })
+	if len(h.marks) > 0 {
+		if lag := h.opts.Clock() - newest; lag > 0 {
+			st.WatermarkLag = lag
+		}
+	}
+	return st
+}
+
+// Quarantine returns the quarantined files, sorted by path.
+func (h *Harvester) Quarantine() []QuarantineEntry {
+	return h.Status().Quarantine
+}
+
+// Records reads the harvested run records back from the database, sorted
+// by (forecast, year, day) like logs.Crawl, so planners built on crawled
+// slices can feed from a harvested database unchanged.
+func (h *Harvester) Records() ([]*logs.RunRecord, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	records, err := statsdb.ReadRuns(h.db)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].Forecast != records[j].Forecast {
+			return records[i].Forecast < records[j].Forecast
+		}
+		if records[i].Year != records[j].Year {
+			return records[i].Year < records[j].Year
+		}
+		return records[i].Day < records[j].Day
+	})
+	return records, nil
+}
+
+// Schedule runs a harvest pass every interval sim-seconds on eng, from
+// interval after now until horizon — the always-on companion to the
+// monitor's rule tick. Pass errors stop the schedule and are reported
+// through onErr (which may be nil).
+func Schedule(eng *sim.Engine, h *Harvester, interval, horizon float64, onErr func(error)) {
+	if interval <= 0 {
+		return
+	}
+	var tick func()
+	tick = func() {
+		if _, err := h.Pass(); err != nil {
+			if onErr != nil {
+				onErr(err)
+			}
+			return
+		}
+		if eng.Now()+interval <= horizon {
+			eng.After(interval, tick)
+		}
+	}
+	eng.After(interval, tick)
+}

@@ -1,0 +1,193 @@
+package harvest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/vfs"
+)
+
+// JournalStore is the append-only byte store behind the harvest journal.
+// The journal's crash-safety contract needs only two operations: append
+// one line durably, and read everything back at startup. Two stores
+// exist: a vfs-backed one for simulated campaigns and an OS-file one for
+// harvesting real directory trees across process restarts.
+type JournalStore interface {
+	// Append durably appends one newline-terminated chunk.
+	Append(line string) error
+	// Load returns the whole journal ("" when it does not exist yet).
+	Load() (string, error)
+}
+
+// VFSJournal stores the journal inside a virtual filesystem (typically
+// the campaign's own, beside the run tree it describes).
+type VFSJournal struct {
+	FS   *vfs.FS
+	Path string
+}
+
+// NewVFSJournal returns a journal store at path inside fs.
+func NewVFSJournal(fs *vfs.FS, path string) *VFSJournal {
+	return &VFSJournal{FS: fs, Path: path}
+}
+
+// Append appends one chunk to the journal file.
+func (j *VFSJournal) Append(line string) error {
+	return j.FS.AppendString(j.Path, line)
+}
+
+// Load reads the journal file ("" when absent).
+func (j *VFSJournal) Load() (string, error) {
+	if !j.FS.Exists(j.Path) {
+		return "", nil
+	}
+	return j.FS.ReadFile(j.Path)
+}
+
+// OSJournal stores the journal in a real file, fsynced on every append,
+// so foreman -harvest resumes incrementally across invocations and a
+// crash loses at most the line being written (which the loader then
+// discards as torn).
+type OSJournal struct {
+	Path string
+}
+
+// NewOSJournal returns a journal store backed by the file at path.
+func NewOSJournal(path string) *OSJournal {
+	return &OSJournal{Path: path}
+}
+
+// Append opens, appends, syncs, and closes the journal file.
+func (j *OSJournal) Append(line string) error {
+	f, err := os.OpenFile(j.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(line); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads the journal file ("" when absent).
+func (j *OSJournal) Load() (string, error) {
+	data, err := os.ReadFile(j.Path)
+	if os.IsNotExist(err) {
+		return "", nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+// Journal entry types.
+const (
+	entryWatermark = "watermark"
+	entryPass      = "pass"
+)
+
+// journalEntry is one JSONL line of the harvest journal. Exactly one of
+// the payload fields is set, selected by Type.
+type journalEntry struct {
+	Type      string     `json:"type"`
+	Watermark *Watermark `json:"watermark,omitempty"`
+	Pass      *PassStats `json:"pass,omitempty"`
+}
+
+// Watermark is the per-log-file high-water mark deciding whether a file
+// needs re-reading (mtime or size changed) and re-ingesting (content hash
+// changed). One watermark line is appended per ingest, after the database
+// write it describes, so a crash between the two re-ingests idempotently
+// on restart rather than losing or duplicating rows.
+type Watermark struct {
+	Path  string  `json:"path"`
+	MTime float64 `json:"mtime"`
+	Size  int64   `json:"size"`
+	Hash  string  `json:"hash"`
+	// At is the sim time the file was harvested.
+	At float64 `json:"at"`
+	// Quarantined marks a file that failed to parse; Error keeps the
+	// ParseError text. The watermark still advances so an unchanged
+	// corrupt file is not re-read (and re-reported) every pass.
+	Quarantined bool   `json:"quarantined,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// appendEntry marshals and durably appends one journal line.
+func appendEntry(store JournalStore, e journalEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	return store.Append(string(data) + "\n")
+}
+
+// loadJournal replays the journal: later watermarks for a path supersede
+// earlier ones, and the pass counter resumes from the last pass line. A
+// torn final line (a crash mid-append) is discarded; corrupt lines
+// elsewhere are counted but skipped, so one bad line cannot brick the
+// harvester.
+func loadJournal(store JournalStore) (marks map[string]*Watermark, lastPass PassStats, passes int, torn int, err error) {
+	text, err := store.Load()
+	if err != nil {
+		return nil, PassStats{}, 0, 0, err
+	}
+	marks = make(map[string]*Watermark)
+	for _, line := range strings.Split(text, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		var e journalEntry
+		if jsonErr := json.Unmarshal([]byte(line), &e); jsonErr != nil {
+			torn++
+			continue
+		}
+		switch e.Type {
+		case entryWatermark:
+			if e.Watermark == nil || e.Watermark.Path == "" {
+				torn++
+				continue
+			}
+			wm := *e.Watermark
+			marks[wm.Path] = &wm
+		case entryPass:
+			if e.Pass == nil {
+				torn++
+				continue
+			}
+			lastPass = *e.Pass
+			if e.Pass.Pass > passes {
+				passes = e.Pass.Pass
+			}
+		default:
+			torn++
+		}
+	}
+	return marks, lastPass, passes, torn, nil
+}
+
+// fnvHash is FNV-1a over the log body, rendered as fixed-width hex — the
+// content half of the watermark. Collisions would silently skip an
+// ingest, but only for a file whose mtime or size already changed AND
+// whose 64-bit hash collides, which is beyond the failure budget of a
+// statistics harvest.
+func fnvHash(s string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return fmt.Sprintf("%016x", h)
+}

@@ -1,0 +1,102 @@
+package harvest
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/logs"
+	"repro/internal/statsdb"
+)
+
+// Snapshots give one-shot CLI harvesters a durable database. The journal
+// persists watermarks across invocations, but the statistics database is
+// in-memory: without a warm start every new process would have to re-read
+// every log (pruneStaleMarks would drop the orphaned watermarks). A
+// snapshot is the harvested records as JSONL, rewritten atomically after
+// each pass; loading it before New restores the rows the watermarks vouch
+// for, so the next pass is incremental across processes too.
+//
+// Crash-safety leans on pruneStaleMarks: if a process dies after
+// journalling a file but before the snapshot rewrite, the next start
+// finds a watermark without its row, drops it, and re-reads the file.
+
+// LoadSnapshot applies the harvest migrations to db and upserts the
+// records stored at path into it. A missing snapshot is a cold start, not
+// an error. Unparsable lines (a torn final write) are skipped — their
+// files simply get re-read. Returns the number of records loaded.
+func LoadSnapshot(db *statsdb.DB, path string) (int, error) {
+	if _, err := statsdb.Migrate(db, Migrations()); err != nil {
+		return 0, err
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("harvest: load snapshot: %w", err)
+	}
+	defer f.Close()
+	var recs []*logs.RunRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		rec := &logs.RunRecord{}
+		if err := json.Unmarshal(line, rec); err != nil || rec.Validate() != nil {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return 0, fmt.Errorf("harvest: load snapshot: %w", err)
+	}
+	if _, _, err := statsdb.UpsertRuns(db, recs, 0); err != nil {
+		return 0, err
+	}
+	return len(recs), nil
+}
+
+// SaveSnapshot atomically rewrites the snapshot at path from records
+// (write to a temp file, fsync, rename).
+func SaveSnapshot(path string, records []*logs.RunRecord) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("harvest: save snapshot: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	for _, r := range records {
+		data, err := json.Marshal(r)
+		if err == nil {
+			_, err = w.Write(append(data, '\n'))
+		}
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("harvest: save snapshot: %w", err)
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("harvest: save snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("harvest: save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("harvest: save snapshot: %w", err)
+	}
+	return nil
+}

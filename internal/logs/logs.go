@@ -45,6 +45,12 @@ type RunRecord struct {
 	Walltime    float64 // seconds (0 if running)
 	Status      string
 	Products    int
+	// SourcePath is the log file this record was parsed from ("" when the
+	// record was built in memory). It travels with the record into the
+	// statistics database so every row is traceable back to disk without
+	// re-crawling the run tree; it is derived from the file's location,
+	// never written into the log text itself.
+	SourcePath string
 }
 
 // Validate checks the record for the fields every consumer relies on.
@@ -133,6 +139,13 @@ func (e *ParseError) Error() string {
 // keys, truncated logs, and non-finite numbers are *ParseError values.
 func Parse(text string) (*RunRecord, error) {
 	return parse(text, "")
+}
+
+// ParseFrom parses log text already read from path, recording path both
+// in any ParseError and as the record's SourcePath — for callers (the
+// harvester) that read the file themselves to hash it.
+func ParseFrom(text, path string) (*RunRecord, error) {
+	return parse(text, path)
 }
 
 // ParseFile reads and parses a run log, reporting failures with file and
@@ -237,6 +250,7 @@ func parse(text, path string) (*RunRecord, error) {
 	if err := r.Validate(); err != nil {
 		return nil, &ParseError{Path: path, Msg: strings.TrimPrefix(err.Error(), "logs: ")}
 	}
+	r.SourcePath = path
 	return r, nil
 }
 

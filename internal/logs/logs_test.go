@@ -188,6 +188,45 @@ func TestWriteAndCrawl(t *testing.T) {
 	}
 }
 
+func TestParsedRecordsCarrySourcePath(t *testing.T) {
+	// Every record parsed from a file names that file, so statsdb rows
+	// trace back to disk without re-crawling the run tree.
+	fs := vfs.New(nil)
+	r := sample()
+	if err := Write(fs, r); err != nil {
+		t.Fatal(err)
+	}
+	path := LogPath(RunDir(r.Forecast, r.Year, r.Day))
+	got, err := ParseFile(fs, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SourcePath != path {
+		t.Fatalf("ParseFile SourcePath = %q, want %q", got.SourcePath, path)
+	}
+	records, err := Crawl(fs, "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 || records[0].SourcePath != path {
+		t.Fatalf("Crawl SourcePath = %q, want %q", records[0].SourcePath, path)
+	}
+	fromText, err := ParseFrom(Format(r), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromText.SourcePath != path {
+		t.Fatalf("ParseFrom SourcePath = %q", fromText.SourcePath)
+	}
+	inMemory, err := Parse(Format(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inMemory.SourcePath != "" {
+		t.Fatalf("Parse SourcePath = %q, want empty", inMemory.SourcePath)
+	}
+}
+
 func TestCrawlMissingRootIsEmpty(t *testing.T) {
 	records, err := Crawl(vfs.New(nil), "/runs")
 	if err != nil || records != nil {

@@ -183,12 +183,18 @@ type ThresholdRule struct {
 
 // value extracts the rule's series value from a registry snapshot.
 func (r ThresholdRule) value(fams []telemetry.FamilySnapshot) (float64, bool) {
+	return metricValue(fams, r.Metric, r.Labels)
+}
+
+// metricValue finds a series in a registry snapshot: counters and gauges
+// yield their value, histograms their observation count.
+func metricValue(fams []telemetry.FamilySnapshot, metric string, labels telemetry.Labels) (float64, bool) {
 	for _, f := range fams {
-		if f.Name != r.Metric {
+		if f.Name != metric {
 			continue
 		}
 		for _, s := range f.Series {
-			if !labelsEqual(s.Labels, r.Labels) {
+			if !labelsEqual(s.Labels, labels) {
 				continue
 			}
 			if f.Kind == telemetry.KindHistogram {
@@ -198,6 +204,39 @@ func (r ThresholdRule) value(fams []telemetry.FamilySnapshot) (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// StalenessRule fires when a timestamp gauge falls too far behind the
+// monitor clock — the data-quality alert for "the harvester stopped": the
+// harvester publishes the sim time of its last pass, and this rule pages
+// when that heartbeat goes quiet. The rule stays silent until the metric
+// exists, so a campaign that never harvests never alerts.
+type StalenessRule struct {
+	Name     string           // rule name; also the dedupe key suffix
+	Metric   string           // gauge holding a sim-time timestamp
+	Labels   telemetry.Labels // series selector (nil = the unlabelled series)
+	MaxAge   float64          // fire while now − value > MaxAge (sim seconds)
+	Severity Severity
+}
+
+// RateRule fires when a counter grows faster than a bound — the
+// data-quality alert for quarantine-rate spikes: a corrupt log or two is
+// routine, a burst means a code deployment is writing garbage. The
+// monitor differentiates the counter between consecutive ticks; the rule
+// resolves once the rate falls back under the bound.
+type RateRule struct {
+	Name         string           // rule name; also the dedupe key suffix
+	Metric       string           // counter to differentiate
+	Labels       telemetry.Labels // series selector (nil = the unlabelled series)
+	PerHourAbove float64          // fire while d(value)/dt > PerHourAbove per sim hour
+	Severity     Severity
+}
+
+// rateState holds one RateRule's previous observation between ticks.
+type rateState struct {
+	value float64
+	at    float64
+	seen  bool
 }
 
 func labelsEqual(a, b telemetry.Labels) bool {

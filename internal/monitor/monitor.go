@@ -87,6 +87,23 @@ type Options struct {
 	Regression RegressionRule
 	// Thresholds are metric threshold rules evaluated every tick.
 	Thresholds []ThresholdRule
+	// Staleness rules watch timestamp gauges (harvest heartbeat) for
+	// silence; Rates watch counter growth (quarantine spikes). Both are
+	// evaluated every tick, after Thresholds.
+	Staleness []StalenessRule
+	Rates     []RateRule
+	// Expected lists the forecasts that must produce a run every campaign
+	// day — the data-quality rule for "a run we expected never appeared".
+	// Attach fills it from the campaign roster. Empty disables the check.
+	Expected []string
+	// LastDay bounds the missing-run check (Attach sets it to the last
+	// campaign day so drain time is not flagged).
+	LastDay int
+	// MissingRunGrace is how far past a day's deadline the monitor waits
+	// before declaring an expected run missing (sim seconds).
+	MissingRunGrace float64
+	// MissingRunSeverity grades missing-run alerts (default critical).
+	MissingRunSeverity Severity
 	// History seeds the estimator and the regression baselines with
 	// completed run records (e.g. harvested from the statsdb runs table).
 	History []*logs.RunRecord
@@ -139,7 +156,8 @@ type Monitor struct {
 
 	nodes []NodeStatus
 
-	book *alertBook
+	book  *alertBook
+	rates map[string]*rateState // per-RateRule counter state between ticks
 
 	mLate      *telemetry.Counter
 	mPredicted *telemetry.Counter
@@ -168,6 +186,9 @@ func New(opts Options, reg *telemetry.Registry) *Monitor {
 		opts.PredictedSeverity = SevWarning
 		opts.MissSeverity = SevCritical
 	}
+	if opts.MissingRunSeverity == 0 {
+		opts.MissingRunSeverity = SevCritical
+	}
 	reg.Describe("monitor_deadline_misses_total", "Runs that completed (or are executing) past their deadline.")
 	reg.Describe("monitor_predicted_misses_total", "Deadline misses predicted before they occurred.")
 	reg.Describe("monitor_runs_tracked", "Runs currently tracked as executing.")
@@ -176,6 +197,7 @@ func New(opts Options, reg *telemetry.Registry) *Monitor {
 		reg:        reg,
 		runs:       make(map[string]*RunSLO),
 		walltimes:  make(map[string][]float64),
+		rates:      make(map[string]*rateState),
 		book:       newAlertBook(reg),
 		mLate:      reg.Counter("monitor_deadline_misses_total", nil),
 		mPredicted: reg.Counter("monitor_predicted_misses_total", nil),
@@ -199,6 +221,8 @@ func (m *Monitor) Attach(c *factory.Campaign) {
 	m.mu.Lock()
 	m.opts.StartDay = c.StartDay()
 	m.opts.SpecOf = c.Spec
+	m.opts.Expected = c.Forecasts()
+	m.opts.LastDay = c.StartDay() + c.Days() - 1
 	m.opts.Nodes = nil
 	for _, n := range c.Cluster().Nodes() {
 		m.opts.Nodes = append(m.opts.Nodes, core.NodeInfo{Name: n.Name(), CPUs: n.CPUs(), Speed: n.Speed()})
@@ -425,7 +449,7 @@ func (m *Monitor) evaluateLocked() {
 			m.checkDeadline(r)
 		}
 	}
-	if len(m.opts.Thresholds) > 0 {
+	if len(m.opts.Thresholds)+len(m.opts.Staleness)+len(m.opts.Rates) > 0 {
 		fams := m.reg.Snapshot()
 		for _, rule := range m.opts.Thresholds {
 			key := "threshold:" + rule.Name
@@ -438,6 +462,90 @@ func (m *Monitor) evaluateLocked() {
 				})
 			} else {
 				m.book.resolve(m.now, key)
+			}
+		}
+		m.checkStaleness(fams)
+		m.checkRates(fams)
+	}
+	m.checkMissingRuns()
+}
+
+// checkStaleness fires staleness rules whose timestamp gauge has gone
+// quiet for longer than MaxAge.
+func (m *Monitor) checkStaleness(fams []telemetry.FamilySnapshot) {
+	for _, rule := range m.opts.Staleness {
+		key := "stale:" + rule.Name
+		v, ok := metricValue(fams, rule.Metric, rule.Labels)
+		if age := m.now - v; ok && age > rule.MaxAge {
+			m.book.fire(m.now, Alert{
+				Rule: rule.Name, Key: key, Severity: rule.Severity,
+				Value: age, Threshold: rule.MaxAge,
+				Message: fmt.Sprintf("%s: %s last updated %s ago (limit %s)",
+					rule.Name, rule.Metric, hhmm(age), hhmm(rule.MaxAge)),
+			})
+		} else {
+			m.book.resolve(m.now, key)
+		}
+	}
+}
+
+// checkRates differentiates rate-rule counters between ticks and fires
+// while the growth rate exceeds the per-hour bound.
+func (m *Monitor) checkRates(fams []telemetry.FamilySnapshot) {
+	for _, rule := range m.opts.Rates {
+		key := "rate:" + rule.Name
+		v, ok := metricValue(fams, rule.Metric, rule.Labels)
+		if !ok {
+			continue
+		}
+		st := m.rates[key]
+		if st == nil {
+			st = &rateState{}
+			m.rates[key] = st
+		}
+		if st.seen && m.now > st.at {
+			perHour := (v - st.value) / (m.now - st.at) * 3600
+			if perHour > rule.PerHourAbove {
+				m.book.fire(m.now, Alert{
+					Rule: rule.Name, Key: key, Severity: rule.Severity,
+					Value: perHour, Threshold: rule.PerHourAbove,
+					Message: fmt.Sprintf("%s: %s growing %.1f/h, above %.1f/h",
+						rule.Name, rule.Metric, perHour, rule.PerHourAbove),
+				})
+			} else {
+				m.book.resolve(m.now, key)
+			}
+		}
+		st.value, st.at, st.seen = v, m.now, true
+	}
+}
+
+// checkMissingRuns flags expected forecast runs that never produced any
+// record — not even a launch or a drop — once their day's deadline (plus
+// grace) has passed. A record appearing later (a delayed harvest, a
+// backfill) resolves the alert.
+func (m *Monitor) checkMissingRuns() {
+	if len(m.opts.Expected) == 0 || m.opts.LastDay < m.opts.StartDay {
+		return
+	}
+	curDay := m.opts.StartDay + int(m.now/factory.SecondsPerDay)
+	lastDay := m.opts.LastDay
+	if curDay < lastDay {
+		lastDay = curDay
+	}
+	for day := m.opts.StartDay; day <= lastDay; day++ {
+		for _, f := range m.opts.Expected {
+			key := runKey(f, day)
+			if _, ok := m.runs[key]; ok {
+				m.book.resolve(m.now, "missing_run:"+key)
+				continue
+			}
+			if m.now > m.deadlineFor(f, day)+m.opts.MissingRunGrace {
+				m.book.fire(m.now, Alert{
+					Rule: "missing_run", Key: "missing_run:" + key,
+					Severity: m.opts.MissingRunSeverity, Forecast: f, Day: day,
+					Message: fmt.Sprintf("%s day %d: no run record past its deadline — expected production missing", f, day),
+				})
 			}
 		}
 	}

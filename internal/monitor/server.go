@@ -21,8 +21,9 @@ import (
 // simulation engine, so the server can run on wall-clock goroutines
 // while a campaign replays. All handlers are httptest-able via Handler.
 type Server struct {
-	mon *Monitor
-	reg *telemetry.Registry
+	mon       *Monitor
+	reg       *telemetry.Registry
+	harvestFn func() any
 }
 
 // NewServer builds a Server for a monitor. reg (may be nil) backs
@@ -30,6 +31,13 @@ type Server struct {
 func NewServer(mon *Monitor, reg *telemetry.Registry) *Server {
 	return &Server{mon: mon, reg: reg}
 }
+
+// AttachHarvest wires the harvest pipeline's status into the server: fn
+// (typically a closure over Harvester.Status) backs GET /api/harvest and
+// the dashboard's harvest panel. The server stays decoupled from the
+// harvest package — it serves whatever snapshot fn returns. Call before
+// the server starts handling requests.
+func (s *Server) AttachHarvest(fn func() any) { s.harvestFn = fn }
 
 // Handler returns the control room's routing mux.
 func (s *Server) Handler() http.Handler {
@@ -40,6 +48,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/status", s.handleStatus)
 	mux.HandleFunc("GET /api/alerts", s.handleAlerts)
 	mux.HandleFunc("GET /api/slo", s.handleSLO)
+	mux.HandleFunc("GET /api/harvest", s.handleHarvest)
 	return mux
 }
 
@@ -91,6 +100,14 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.mon.Report())
 }
 
+func (s *Server) handleHarvest(w http.ResponseWriter, r *http.Request) {
+	if s.harvestFn == nil {
+		http.Error(w, "no harvester attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.harvestFn())
+}
+
 func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, dashboardHTML)
@@ -119,6 +136,11 @@ td, th { padding: 2px 10px; border-bottom: 1px solid #333; text-align: left; }
 <h2>alerts</h2><table id="alerts"></table>
 <h2>runs</h2><table id="runs"></table>
 <h2>nodes</h2><table id="nodes"></table>
+<div id="harvest-panel" style="display:none">
+<h2>harvest</h2>
+<div id="harvest-summary" class="dim"></div>
+<table id="harvest-quarantine"></table>
+</div>
 <script>
 function hhmm(s) {
   const sign = s < 0 ? "-" : ""; s = Math.abs(s);
@@ -164,6 +186,26 @@ async function refresh() {
   } catch (e) {
     document.getElementById("summary").textContent = "status fetch failed: " + e;
   }
+  try {
+    const resp = await fetch("api/harvest");
+    if (resp.ok) {
+      const h = await resp.json();
+      document.getElementById("harvest-panel").style.display = "";
+      const lp = h.last_pass || {};
+      document.getElementById("harvest-summary").textContent =
+        "pass " + h.passes + " @ t=" + hhmm(lp.at || 0) +
+        " · scanned " + (lp.scanned || 0) + " · ingested " + (lp.ingested || 0) +
+        " · updated " + (lp.updated || 0) + " · watermark hits " + (lp.watermark_hits || 0) +
+        " · lag " + hhmm(h.watermark_lag_seconds || 0) +
+        " · totals: " + h.totals.ingested + " ingested / " +
+        h.totals.quarantined + " quarantined · schema v" + h.schema_version;
+      const q = h.quarantine || [];
+      document.getElementById("harvest-quarantine").innerHTML = q.length === 0 ? "" :
+        "<tr><th>quarantined file</th><th>error</th></tr>" +
+        q.slice(0, 20).map(e =>
+          '<tr><td class="warn">' + e.path + '</td><td class="dim">' + e.error + "</td></tr>").join("");
+    }
+  } catch (e) { /* harvest panel is optional */ }
 }
 refresh();
 setInterval(refresh, 2000);

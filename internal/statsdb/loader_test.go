@@ -68,6 +68,96 @@ func TestLoadRunsAppendsToExistingTable(t *testing.T) {
 	}
 }
 
+func TestLoadRunsIsIdempotent(t *testing.T) {
+	// Loading the same records twice must not duplicate rows — the
+	// harvester re-reads logs after a crash and relies on this.
+	db := NewDB()
+	recs := []*logs.RunRecord{rec("a", 1, 100, "v"), rec("a", 2, 110, "v")}
+	if _, err := LoadRuns(db, recs); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := LoadRuns(db, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d after double load", tbl.Len())
+	}
+}
+
+func TestUpsertRunsReplacesByKey(t *testing.T) {
+	db := NewDB()
+	running := rec("a", 1, 0, "v")
+	running.Status = logs.StatusRunning
+	running.End, running.Walltime = 0, 0
+	if _, st, err := UpsertRuns(db, []*logs.RunRecord{running}, 10); err != nil {
+		t.Fatal(err)
+	} else if st.Inserted != 1 || st.Updated != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The completed record for the same (forecast, day, start) replaces
+	// the provisional running row.
+	done := rec("a", 1, 4000, "v")
+	tbl, st, err := UpsertRuns(db, []*logs.RunRecord{done}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Inserted != 0 || st.Updated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+	si := tbl.Schema().Index("status")
+	if got := tbl.Row(0)[si].Str(); got != logs.StatusCompleted {
+		t.Fatalf("status = %q", got)
+	}
+	// A different start is a different execution, not a replacement.
+	rerun := rec("a", 1, 4100, "v")
+	rerun.Start = 7200
+	if tbl, _, err = UpsertRuns(db, []*logs.RunRecord{rerun}, 30); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d after re-run", tbl.Len())
+	}
+}
+
+func TestUpsertRunsFillsProvenanceColumns(t *testing.T) {
+	db := NewDB()
+	tbl, err := EnsureRunsTable(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn(Column{Name: ColHarvestedAt, Type: Float}, FloatVal(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddColumn(Column{Name: ColSourcePath, Type: String}, StringVal("")); err != nil {
+		t.Fatal(err)
+	}
+	r := rec("a", 1, 100, "v")
+	r.SourcePath = "/runs/a/2005-001/run.log"
+	if _, _, err := UpsertRuns(db, []*logs.RunRecord{r}, 42); err != nil {
+		t.Fatal(err)
+	}
+	sch := tbl.Schema()
+	row := tbl.Row(0)
+	if got := row[sch.Index(ColHarvestedAt)].Float(); got != 42 {
+		t.Fatalf("harvested_at = %v", got)
+	}
+	if got := row[sch.Index(ColSourcePath)].Str(); got != r.SourcePath {
+		t.Fatalf("source_path = %q", got)
+	}
+
+	back, err := ReadRuns(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0].SourcePath != r.SourcePath || back[0].Walltime != 100 {
+		t.Fatalf("ReadRuns = %+v", back[0])
+	}
+}
+
 func TestLoadRunsRejectsInvalidRecords(t *testing.T) {
 	db := NewDB()
 	bad := rec("a", 1, 100, "v")

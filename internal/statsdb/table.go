@@ -130,6 +130,92 @@ func (t *Table) Row(i int) []Value {
 	return append([]Value(nil), t.rows[i]...)
 }
 
+// Update replaces row i in place, enforcing arity and column types, and
+// maintains all indexes. Row ids are stable across updates, so index
+// entries for unchanged columns stay valid.
+func (t *Table) Update(i int, row []Value) error {
+	if i < 0 || i >= len(t.rows) {
+		return fmt.Errorf("statsdb: table %s has no row %d", t.name, i)
+	}
+	if len(row) != len(t.schema) {
+		return fmt.Errorf("statsdb: table %s expects %d values, got %d", t.name, len(t.schema), len(row))
+	}
+	for ci, v := range row {
+		if v.Type() != t.schema[ci].Type {
+			return fmt.Errorf("statsdb: table %s column %q expects %s, got %s",
+				t.name, t.schema[ci].Name, t.schema[ci].Type, v.Type())
+		}
+		if err := checkValue(v); err != nil {
+			return fmt.Errorf("statsdb: table %s column %q: %w", t.name, t.schema[ci].Name, err)
+		}
+	}
+	old := t.rows[i]
+	for column, idx := range t.indexes {
+		ci := t.schema.Index(column)
+		if old[ci] == row[ci] {
+			continue
+		}
+		ids := idx[old[ci]]
+		for k, id := range ids {
+			if id == i {
+				ids = append(ids[:k], ids[k+1:]...)
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(idx, old[ci])
+		} else {
+			idx[old[ci]] = ids
+		}
+		idx[row[ci]] = append(idx[row[ci]], i)
+	}
+	t.rows[i] = append([]Value(nil), row...)
+	return nil
+}
+
+// AddColumn widens the table with a new column, filling every existing
+// row with def — the in-place half of a schema migration. Indexes on
+// existing columns are untouched.
+func (t *Table) AddColumn(col Column, def Value) error {
+	if col.Name == "" {
+		return fmt.Errorf("statsdb: table %s: new column needs a name", t.name)
+	}
+	if t.schema.Index(col.Name) >= 0 {
+		return fmt.Errorf("statsdb: table %s already has column %q", t.name, col.Name)
+	}
+	if def.Type() != col.Type {
+		return fmt.Errorf("statsdb: table %s column %q default is %s, want %s",
+			t.name, col.Name, def.Type(), col.Type)
+	}
+	if err := checkValue(def); err != nil {
+		return fmt.Errorf("statsdb: table %s column %q: %w", t.name, col.Name, err)
+	}
+	t.schema = append(t.schema, col)
+	for i := range t.rows {
+		t.rows[i] = append(t.rows[i], def)
+	}
+	return nil
+}
+
+// lookupRows returns the ids of rows whose column equals v, using the
+// hash index when one exists and a scan otherwise.
+func (t *Table) lookupRows(column string, v Value) []int {
+	if idx, ok := t.indexes[column]; ok {
+		return idx[v]
+	}
+	ci := t.schema.Index(column)
+	if ci < 0 {
+		return nil
+	}
+	var ids []int
+	for i, row := range t.rows {
+		if row[ci] == v {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
 // DB is a named collection of tables.
 type DB struct {
 	tables map[string]*Table
