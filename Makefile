@@ -25,11 +25,14 @@ race:
 
 check: test vet race
 
-# Experiment benchmarks plus the harvest pipeline's machine-readable
-# report (BENCH_harvest.json, uploaded as a CI artifact).
+# Experiment benchmarks plus the machine-readable reports uploaded as CI
+# artifacts: the harvest pipeline (BENCH_harvest.json) and the usage
+# sampler's overhead budget (BENCH_usage.json, < 5% slowdown on the
+# standard fig8 campaign).
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/harvest
+	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/harvest ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_harvest.json $(GO) test -run TestEmitBenchReport -v ./internal/harvest
+	BENCH_OUT=$(CURDIR)/BENCH_usage.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/usage
 
 clean:
 	$(GO) clean ./...

@@ -13,12 +13,20 @@
 // control room gains the harvest panel plus data-quality alerts
 // (harvest staleness, quarantine-rate spikes).
 //
+// With -usage-interval the utilization observatory samples per-node CPU
+// shares into a timeline (persisted to the node_usage table), detects
+// contention and idle windows, renders the nodes×time heatmap, and —
+// combined with -monitor-addr — serves /api/utilization, the dashboard
+// heatmap panel, and saturation/imbalance/drift alerts. -pprof mounts
+// Go profiling endpoints on the control-room server.
+//
 // Usage:
 //
 //	factory [-scenario fig8|fig9|growth] [-config file.json] [-forecast name]
 //	        [-days n] [-snapshot hours] [-metrics-out file] [-trace-out file]
 //	        [-monitor-addr host:port] [-replay-rate simsec-per-sec]
 //	        [-harvest-interval hours] [-runs-dir dir]
+//	        [-usage-interval minutes] [-pprof]
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 	"repro/internal/plot"
 	"repro/internal/statsdb"
 	"repro/internal/telemetry"
+	"repro/internal/usage"
 )
 
 func main() {
@@ -54,6 +63,8 @@ func main() {
 	replayRate := flag.Float64("replay-rate", 0, "pace the replay at this many sim-seconds per wall-second (0 = full speed; needs -monitor-addr to be observable)")
 	harvestInterval := flag.Float64("harvest-interval", 0, "run an incremental harvest pass every this many sim-hours (0 = off)")
 	runsDir := flag.String("runs-dir", "", "mirror every run log into this real directory tree (harvestable later with foreman -harvest)")
+	usageInterval := flag.Float64("usage-interval", 0, "sample per-node CPU shares into the utilization timeline every this many sim-minutes (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/ on the control-room server")
 	flag.Parse()
 
 	var cfg factory.Config
@@ -113,7 +124,7 @@ func main() {
 	}
 
 	var tel *telemetry.Telemetry
-	if *metricsOut != "" || *traceOut != "" || *monitorAddr != "" || *harvestInterval > 0 {
+	if *metricsOut != "" || *traceOut != "" || *monitorAddr != "" || *harvestInterval > 0 || *usageInterval > 0 {
 		tel = telemetry.New()
 		cfg.Telemetry = tel
 	}
@@ -140,12 +151,17 @@ func main() {
 		})
 	}
 
+	// The statistics database shared by the harvest pipeline and the
+	// utilization observatory: run records land in runs, the sampler's
+	// timeline in node_usage, joinable on node and time overlap.
+	statsDB := statsdb.NewDB()
+
 	// Continuous harvest: an incremental pass over the run tree every
 	// interval, journalled beside it, feeding the statistics database the
 	// provenance queries and data-quality alerts read from.
 	var harv *harvest.Harvester
 	if *harvestInterval > 0 {
-		harv, err = harvest.New(c.FS(), statsdb.NewDB(),
+		harv, err = harvest.New(c.FS(), statsDB,
 			harvest.NewVFSJournal(c.FS(), "/harvest/journal.jsonl"),
 			harvest.Options{Telemetry: tel, Clock: c.Engine().Now})
 		if err != nil {
@@ -155,6 +171,17 @@ func main() {
 		harvest.Schedule(c.Engine(), harv, *harvestInterval*3600, c.Horizon(), func(err error) {
 			fmt.Fprintln(os.Stderr, "harvest:", err)
 		})
+	}
+
+	// Utilization observatory: the sampler subscribes to cluster job
+	// lifecycle events and buckets per-node CPU shares on the interval.
+	var samp *usage.Sampler
+	if *usageInterval > 0 {
+		samp = usage.NewSampler(c.Cluster(), usage.Options{
+			Interval:  *usageInterval * 60,
+			Telemetry: tel,
+		})
+		samp.Start(c.Horizon())
 	}
 
 	// Control room: attach the monitor before the campaign runs, serve it
@@ -177,6 +204,18 @@ func main() {
 				PerHourAbove: 1, Severity: monitor.SevWarning,
 			}}
 		}
+		if samp != nil {
+			// Capacity rules over the sampler's gauges: sustained per-node
+			// saturation and idle-while-saturated imbalance, plus the
+			// plan-vs-actual drift rule on completed runs.
+			var nodeNames []string
+			for _, n := range c.Cluster().Nodes() {
+				nodeNames = append(nodeNames, n.Name())
+			}
+			opts.Thresholds = append(opts.Thresholds,
+				monitor.UsageRules(nodeNames, 2*3600, monitor.SevWarning)...)
+			opts.Drift = monitor.DriftRule{RelAbove: 0.25, MinSecs: 600, Severity: monitor.SevWarning}
+		}
 		mon = monitor.New(opts, tel.Registry())
 		mon.Attach(c)
 		ln, err := net.Listen("tcp", *monitorAddr)
@@ -187,6 +226,12 @@ func main() {
 		srv := monitor.NewServer(mon, tel.Registry())
 		if harv != nil {
 			srv.AttachHarvest(func() any { return harv.Status() })
+		}
+		if samp != nil {
+			srv.AttachUtilization(func() any { return samp.Status() })
+		}
+		if *pprofOn {
+			srv.EnablePprof()
 		}
 		go func() {
 			if err := http.Serve(ln, srv.Handler()); err != nil {
@@ -216,10 +261,15 @@ func main() {
 	}
 	if *replayRate > 0 {
 		// Paced replay: advance the virtual clock in one-wall-second
-		// chunks so the dashboard shows the campaign unfolding.
+		// chunks so the dashboard shows the campaign unfolding. The lag
+		// gauge compares where the clock should be against where it is —
+		// a growing value means the engine can't keep the requested pace.
 		eng := c.Engine()
+		expected := eng.Now()
 		for eng.Now() < c.Horizon() {
+			expected = min(expected+*replayRate, c.Horizon())
 			eng.RunUntil(min(eng.Now()+*replayRate, c.Horizon()))
+			eng.ObserveReplayLag(expected)
 			time.Sleep(time.Second)
 		}
 	}
@@ -233,6 +283,9 @@ func main() {
 	}
 	if mon != nil {
 		mon.Finalize(c.Engine().Now())
+	}
+	if samp != nil {
+		samp.Finalize(c.Engine().Now())
 	}
 
 	fmt.Printf("\n%s walltimes by day:\n", subject)
@@ -266,6 +319,31 @@ func main() {
 	fmt.Println("\nnode utilization:")
 	for _, n := range c.Cluster().Nodes() {
 		fmt.Printf("  %-10s %5.1f%%\n", n.Name(), 100*n.Utilization())
+	}
+
+	if samp != nil {
+		fmt.Println("\nutilization observatory:")
+		fmt.Print(samp.Report(5))
+		var rows []string
+		for _, n := range c.Cluster().Nodes() {
+			rows = append(rows, n.Name())
+		}
+		grid := usage.CondenseGrid(rows, samp.Samples(), 96)
+		hm := plot.Heatmap{
+			Title: "node utilization heatmap (full campaign)",
+			Rows:  grid.Nodes,
+			Start: grid.Start,
+			Step:  grid.Step,
+			Cells: grid.Utilization,
+			Width: 96,
+		}
+		fmt.Println()
+		fmt.Print(hm.Render())
+		if t, err := usage.LoadSamples(statsDB, samp.Samples()); err != nil {
+			fmt.Fprintln(os.Stderr, "usage:", err)
+		} else {
+			fmt.Printf("node_usage table: %d rows (schema v%d)\n", t.Len(), statsdb.SchemaVersion(statsDB))
+		}
 	}
 
 	if harv != nil {

@@ -11,7 +11,15 @@
 //	foreman [-heuristic stay-put|ffd|bfd|wfd] [-fail node] [-policy minimal|reshuffle]
 //	        [-move run=node] [-scripts] [-hindcast n] [-sql query] [-now hour]
 //	        [-slo] [-metrics-out file] [-trace-out file]
-//	        [-harvest dir] [-provenance code-version]
+//	        [-harvest dir] [-provenance code-version] [-utilization]
+//
+// -utilization replays today's plan on a simulated plant with each run
+// carrying its spec's true work: the usage sampler records per-node
+// CPU-share timelines (rendered as a heatmap), detects contention and
+// idle windows, and the drift report compares every observed completion
+// against ForeMan's prediction. Timelines land in the node_usage table
+// and drift records in the drift table (schema v3), both queryable in a
+// later -sql invocation's database when combined with -harvest trees.
 //
 // The -sql flag accepts the statsdb SELECT subset, including JOINs against
 // the nodes table and EXPLAIN; the bootstrap campaign's trace spans are
@@ -35,12 +43,14 @@ import (
 	"fmt"
 	"io"
 	iofs "io/fs"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/factory"
 	"repro/internal/forecast"
@@ -48,8 +58,10 @@ import (
 	"repro/internal/logs"
 	"repro/internal/monitor"
 	"repro/internal/plot"
+	"repro/internal/sim"
 	"repro/internal/statsdb"
 	"repro/internal/telemetry"
+	"repro/internal/usage"
 	"repro/internal/vfs"
 )
 
@@ -105,6 +117,7 @@ func main() {
 	sloFlag := flag.Bool("slo", false, "print the control-room SLO report and alert history for the bootstrap campaign")
 	harvestDir := flag.String("harvest", "", "harvest run logs incrementally from this real directory tree instead of bootstrapping a simulated campaign")
 	provenanceFlag := flag.String("provenance", "", "report every forecast using this code version from the harvested database, then exit")
+	utilizationFlag := flag.Bool("utilization", false, "replay today's plan on a simulated plant, print the utilization report, heatmap, contention windows, and plan-vs-actual drift, and persist node_usage + drift tables")
 	flag.Parse()
 
 	h, ok := heuristicByName(*heuristicFlag)
@@ -224,21 +237,11 @@ func main() {
 				a.ID, a.Severity, a.Rule, a.Forecast, a.Day, a.FiredAt/3600, resolved, a.Message)
 		}
 	}
-	if *sqlFlag != "" {
+	// With -utilization the query is deferred until after the replay has
+	// populated the node_usage and drift tables it most likely targets.
+	if *sqlFlag != "" && !*utilizationFlag {
 		defer flushTelemetry(tel, *metricsOut, *traceOut)
-		res, err := db.Query(*sqlFlag)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Println(strings.Join(res.Columns, " | "))
-		for _, row := range res.Rows {
-			cells := make([]string, len(row))
-			for i, v := range row {
-				cells[i] = v.String()
-			}
-			fmt.Println(strings.Join(cells, " | "))
-		}
+		runSQL(db, *sqlFlag)
 		return
 	}
 
@@ -342,6 +345,14 @@ func main() {
 	fmt.Println()
 	fmt.Print(plot.Gantt{Title: "today's plan (predicted completions)", Bars: bars, Now: *nowHour * 3600, Horizon: 86400}.Render())
 
+	if *utilizationFlag {
+		utilizationReplay(schedule, specs, db, tel)
+		if *sqlFlag != "" {
+			fmt.Println()
+			runSQL(db, *sqlFlag)
+		}
+	}
+
 	if *scriptsFlag {
 		scripts, err := core.ShellBackend{Repository: "/repository"}.Generate(schedule)
 		if err != nil {
@@ -353,6 +364,117 @@ func main() {
 	}
 
 	flushTelemetry(tel, *metricsOut, *traceOut)
+}
+
+// runSQL prints a query's result table, exiting 1 on a bad query.
+func runSQL(db *statsdb.DB, query string) {
+	res, err := db.Query(query)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(strings.Join(res.Columns, " | "))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+}
+
+// utilizationReplay executes today's plan on a simulated plant and
+// compares what happened against what ForeMan predicted. Each assigned
+// run launches at its earliest start on its planned node, carrying the
+// spec's true work (not the estimator's figure) — so the replay drifts
+// from the plan exactly the way reality does: through estimate error and
+// CPU-share contention. The usage sampler records the per-node timeline;
+// drift joins the observed completions against the prediction; both
+// persist into the statistics database (schema v3) for -sql queries.
+func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *statsdb.DB, tel *telemetry.Telemetry) {
+	eng := sim.NewEngine()
+	if tel != nil {
+		eng.Instrument(tel.Registry())
+	}
+	cl := cluster.New(eng)
+	for _, n := range schedule.Plan.Nodes {
+		node := cl.AddNode(n.Name, n.CPUs, n.Speed)
+		if n.Down {
+			node.Fail()
+		}
+	}
+	samp := usage.NewSampler(cl, usage.Options{Interval: 900, Telemetry: tel, StatusCols: 96})
+
+	specOf := make(map[string]*forecast.Spec, len(specs))
+	for _, s := range specs {
+		specOf[s.Name] = s
+	}
+	var outcomes []usage.Outcome
+	for _, r := range schedule.Plan.Runs {
+		nodeName, ok := schedule.Plan.Assign[r.Name]
+		if !ok {
+			continue // dropped by the planner: nothing to replay
+		}
+		run := r
+		node := cl.Node(nodeName)
+		work := run.Work
+		if s := specOf[run.Name]; s != nil {
+			work = s.TotalWork()
+		}
+		eng.At(run.Start, func() {
+			start := eng.Now()
+			done := func() {
+				outcomes = append(outcomes, usage.Outcome{
+					Run: run.Name, Node: nodeName,
+					Start: start, End: eng.Now(), Finished: true,
+				})
+			}
+			if run.Width > 1 {
+				node.SubmitParallel(run.Name, work, run.Width, done)
+			} else {
+				node.Submit(run.Name, work, done)
+			}
+		})
+	}
+
+	horizon := 86400.0
+	for _, c := range schedule.Prediction.Completion {
+		if !math.IsInf(c, 0) && c*1.5 > horizon {
+			horizon = c * 1.5
+		}
+	}
+	samp.Start(horizon)
+	eng.Run()
+	samp.Finalize(eng.Now())
+
+	fmt.Println("\nutilization replay (plan executed with true work):")
+	fmt.Print(samp.Report(5))
+	st := samp.Status()
+	fmt.Println()
+	fmt.Print(plot.Heatmap{
+		Title: "node utilization heatmap (15 min per column)",
+		Rows:  st.Grid.Nodes,
+		Start: st.Grid.Start,
+		Step:  st.Grid.Step,
+		Cells: st.Grid.Utilization,
+		Width: 96,
+	}.Render())
+
+	drifts := usage.ComputeDrift(schedule.Plan, schedule.Prediction, outcomes, samp)
+	fmt.Println()
+	fmt.Print(usage.DriftReport(drifts))
+
+	if _, err := usage.LoadSamples(db, samp.Samples()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if _, err := usage.LoadDrift(db, drifts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("persisted: node_usage %d rows, drift %d rows (schema v%d; query with -sql)\n",
+		db.Table(usage.NodeUsageTableName).Len(), db.Table(usage.DriftTableName).Len(),
+		statsdb.SchemaVersion(db))
 }
 
 // osFS adapts a real directory tree to the harvester's FS interface,

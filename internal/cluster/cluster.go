@@ -17,6 +17,29 @@ import (
 	"repro/internal/sim"
 )
 
+// Job and node lifecycle event kinds, delivered to Cluster.OnEvent
+// observers. Submit/finish/cancel are per-job; fail/repair are per-node
+// (Job is empty).
+const (
+	EventSubmit = "submit"
+	EventFinish = "finish"
+	EventCancel = "cancel"
+	EventFail   = "fail"
+	EventRepair = "repair"
+)
+
+// JobEvent is one lifecycle transition on the cluster: a job starting,
+// finishing, or being cancelled, or a node going down or coming back.
+// Events fire at the virtual instant the transition takes effect, after
+// the node's resource state already reflects it — an observer reading
+// Node.Active or Node.BusySeconds from the callback sees the new state.
+type JobEvent struct {
+	Kind string
+	Node string
+	Job  string // job label; empty for fail/repair
+	Time float64
+}
+
 // Node is one compute node. Create nodes through Cluster.AddNode.
 type Node struct {
 	name  string
@@ -25,6 +48,7 @@ type Node struct {
 	res   *ps.Resource
 	down  bool
 	eng   *sim.Engine
+	cl    *Cluster
 
 	// Accounting for utilization reports.
 	created float64
@@ -45,6 +69,14 @@ func (n *Node) Down() bool { return n.down }
 // Active returns the number of jobs currently executing on the node.
 func (n *Node) Active() int { return n.res.Active() }
 
+// Capacity returns the node's aggregate capacity (CPUs × speed) in
+// reference CPU-seconds per second, regardless of up/down state.
+func (n *Node) Capacity() float64 { return float64(n.cpus) * n.speed }
+
+// BusySeconds returns the capacity-seconds consumed on the node so far
+// (∫ total rate dt), settled to the current virtual time.
+func (n *Node) BusySeconds() float64 { return n.res.BusySeconds() }
+
 // Utilization returns the fraction of the node's total CPU capacity
 // consumed since the node was created.
 func (n *Node) Utilization() float64 {
@@ -53,6 +85,13 @@ func (n *Node) Utilization() float64 {
 		return 0
 	}
 	return n.res.BusySeconds() / (n.res.Capacity() * elapsed)
+}
+
+// emit delivers a lifecycle event to the cluster's observer, if any.
+func (n *Node) emit(kind, job string) {
+	if n.cl != nil && n.cl.onEvent != nil {
+		n.cl.onEvent(JobEvent{Kind: kind, Node: n.name, Job: job, Time: n.eng.Now()})
+	}
 }
 
 // Job is a serial job executing on a node.
@@ -83,14 +122,26 @@ func (j *Job) Started() float64 { return j.task.Started() }
 func (j *Job) AddWork(extra float64) { j.task.AddWork(extra) }
 
 // Cancel removes the job without invoking its completion callback.
-func (j *Job) Cancel() { j.task.Cancel() }
+func (j *Job) Cancel() {
+	if j.task.Finished() || j.task.Cancelled() {
+		return
+	}
+	j.task.Cancel()
+	j.node.emit(EventCancel, j.task.Label())
+}
 
 // Submit starts a serial job on the node. work is in reference
 // CPU-seconds; done (may be nil) runs at completion. Submitting to a down
 // node is allowed — the job waits frozen until the node is repaired, which
 // models scripts queued against an unavailable machine.
 func (n *Node) Submit(label string, work float64, done func()) *Job {
-	t := n.res.Submit(label, work, done)
+	t := n.res.Submit(label, work, func() {
+		n.emit(EventFinish, label)
+		if done != nil {
+			done()
+		}
+	})
+	n.emit(EventSubmit, label)
 	return &Job{task: t, node: n}
 }
 
@@ -106,7 +157,13 @@ func (n *Node) SubmitParallel(label string, work float64, width int, done func()
 	if width > n.cpus {
 		width = n.cpus
 	}
-	t := n.res.SubmitCapped(label, work, float64(width)*n.speed, done)
+	t := n.res.SubmitCapped(label, work, float64(width)*n.speed, func() {
+		n.emit(EventFinish, label)
+		if done != nil {
+			done()
+		}
+	})
+	n.emit(EventSubmit, label)
 	return &Job{task: t, node: n}
 }
 
@@ -119,6 +176,7 @@ func (n *Node) Fail() {
 	}
 	n.down = true
 	n.res.Freeze()
+	n.emit(EventFail, "")
 }
 
 // Repair brings a failed node back.
@@ -128,13 +186,15 @@ func (n *Node) Repair() {
 	}
 	n.down = false
 	n.res.Thaw()
+	n.emit(EventRepair, "")
 }
 
 // Cluster is a named collection of nodes sharing one simulation engine.
 type Cluster struct {
-	eng   *sim.Engine
-	nodes map[string]*Node
-	order []string
+	eng     *sim.Engine
+	nodes   map[string]*Node
+	order   []string
+	onEvent func(JobEvent)
 }
 
 // New creates an empty cluster on the given engine.
@@ -144,6 +204,23 @@ func New(eng *sim.Engine) *Cluster {
 
 // Engine returns the cluster's simulation engine.
 func (c *Cluster) Engine() *sim.Engine { return c.eng }
+
+// OnEvent chains an observer for job and node lifecycle events after any
+// previously registered one — the attachment point for the utilization
+// sampler. Observers run synchronously at the virtual instant of each
+// transition and must not mutate the cluster.
+func (c *Cluster) OnEvent(fn func(JobEvent)) {
+	if fn == nil {
+		return
+	}
+	prev := c.onEvent
+	c.onEvent = func(ev JobEvent) {
+		if prev != nil {
+			prev(ev)
+		}
+		fn(ev)
+	}
+}
 
 // AddNode creates a node with the given CPU count and relative speed.
 // Adding a duplicate name or non-positive parameters panics: cluster
@@ -160,6 +237,7 @@ func (c *Cluster) AddNode(name string, cpus int, speed float64) *Node {
 		cpus:    cpus,
 		speed:   speed,
 		eng:     c.eng,
+		cl:      c,
 		created: c.eng.Now(),
 		res:     ps.NewResource(c.eng, "cpu:"+name, float64(cpus)*speed, speed),
 	}

@@ -278,3 +278,96 @@ func TestPropertyCPUSharingRule(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Down nodes must not count as available capacity, and repairing restores
+// exactly what failing removed.
+func TestTotalCapacityAcrossFailRepair(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	c.AddNode("a", 2, 1.0)
+	b := c.AddNode("b", 4, 0.5)
+	if !almost(c.TotalCapacity(), 4) {
+		t.Fatalf("TotalCapacity = %v, want 4", c.TotalCapacity())
+	}
+	b.Fail()
+	if !almost(c.TotalCapacity(), 2) {
+		t.Fatalf("TotalCapacity with b down = %v, want 2", c.TotalCapacity())
+	}
+	b.Repair()
+	if !almost(c.TotalCapacity(), 4) {
+		t.Fatalf("TotalCapacity after repair = %v, want 4", c.TotalCapacity())
+	}
+}
+
+// Utilization's denominator keeps running while the node is down, and the
+// numerator freezes: a node busy for 100s, down for 300s, then busy again
+// for 100s has consumed 100 of 500 capacity-seconds per CPU.
+func TestUtilizationAcrossDowntime(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 1, 1.0)
+	n.Submit("f", 200, nil) // 1 CPU: rate 1, finishes after 200 busy seconds
+	e.At(100, n.Fail)
+	e.At(400, n.Repair)
+	e.Run()
+	// Timeline: busy [0,100], frozen [100,400], busy [400,500].
+	if now := e.Now(); !almost(now, 500) {
+		t.Fatalf("job finished at %v, want 500", now)
+	}
+	if u := n.Utilization(); !almost(u, 200.0/500.0) {
+		t.Fatalf("Utilization = %v, want 0.4", u)
+	}
+	if b := n.BusySeconds(); !almost(b, 200) {
+		t.Fatalf("BusySeconds = %v, want 200", b)
+	}
+}
+
+// The lifecycle event stream: kinds and order, observer chaining, and the
+// guarantee that observers see the post-transition resource state.
+func TestOnEventStream(t *testing.T) {
+	e := sim.NewEngine()
+	c := New(e)
+	n := c.AddNode("n", 1, 1.0)
+	type seen struct {
+		kind, job string
+		active    int
+		down      bool
+	}
+	var first, second []seen
+	c.OnEvent(func(ev JobEvent) {
+		first = append(first, seen{ev.Kind, ev.Job, n.Active(), n.Down()})
+	})
+	c.OnEvent(func(ev JobEvent) { // chained after the first observer
+		second = append(second, seen{kind: ev.Kind})
+	})
+	n.Submit("a", 100, nil)
+	j := n.Submit("b", 1000, nil)
+	e.At(50, n.Fail)
+	e.At(150, n.Repair)
+	e.At(400, j.Cancel)
+	e.Run()
+	want := []seen{
+		{"submit", "a", 1, false}, // a running
+		{"submit", "b", 2, false}, // b joins, k=2
+		{"fail", "", 2, true},     // frozen with both jobs intact
+		{"repair", "", 2, false},  // thawed
+		{"finish", "a", 1, false}, // a done; post-state k=1
+		{"cancel", "b", 0, false}, // b cancelled; post-state k=0
+	}
+	if len(first) != len(want) {
+		t.Fatalf("saw %d events %+v, want %d", len(first), first, len(want))
+	}
+	for i, w := range want {
+		if first[i] != w {
+			t.Fatalf("event %d = %+v, want %+v", i, first[i], w)
+		}
+	}
+	if len(second) != len(first) {
+		t.Fatalf("chained observer saw %d events, want %d", len(second), len(first))
+	}
+	for i := range second {
+		if second[i].kind != first[i].kind {
+			t.Fatalf("chained observer event %d kind %q, want %q", i, second[i].kind, first[i].kind)
+		}
+	}
+}

@@ -142,13 +142,13 @@ type QuarantineEntry struct {
 
 // Status is the harvester's observable state, served as /api/harvest.
 type Status struct {
-	Root          string            `json:"root"`
-	Passes        int               `json:"passes"`
-	LastPass      PassStats         `json:"last_pass"`
-	Watermarks    int               `json:"watermarks"`
-	WatermarkLag  float64           `json:"watermark_lag_seconds"`
-	SchemaVersion int64             `json:"schema_version"`
-	TornLines     int               `json:"torn_journal_lines,omitempty"`
+	Root          string    `json:"root"`
+	Passes        int       `json:"passes"`
+	LastPass      PassStats `json:"last_pass"`
+	Watermarks    int       `json:"watermarks"`
+	WatermarkLag  float64   `json:"watermark_lag_seconds"`
+	SchemaVersion int64     `json:"schema_version"`
+	TornLines     int       `json:"torn_journal_lines,omitempty"`
 	// Recovered counts journal watermarks dropped at startup because
 	// their rows were missing from the database (the files re-read on the
 	// next pass).

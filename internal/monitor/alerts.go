@@ -61,15 +61,15 @@ const (
 // lifecycle. Times are virtual campaign seconds; ResolvedAt is zero while
 // the alert is firing.
 type Alert struct {
-	ID       int64  `json:"id"`
-	Rule     string `json:"rule"`
-	Key      string `json:"key"` // dedupe key: one firing alert per key
+	ID       int64    `json:"id"`
+	Rule     string   `json:"rule"`
+	Key      string   `json:"key"` // dedupe key: one firing alert per key
 	Severity Severity `json:"severity"`
-	State    string `json:"state"`
-	Forecast string `json:"forecast,omitempty"`
-	Day      int    `json:"day,omitempty"`
-	Node     string `json:"node,omitempty"`
-	Message  string `json:"message"`
+	State    string   `json:"state"`
+	Forecast string   `json:"forecast,omitempty"`
+	Day      int      `json:"day,omitempty"`
+	Node     string   `json:"node,omitempty"`
+	Message  string   `json:"message"`
 	// Value and Threshold record the observation that tripped the rule
 	// (e.g. predicted completion vs deadline, walltime vs median bound).
 	Value     float64 `json:"value"`

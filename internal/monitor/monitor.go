@@ -53,9 +53,13 @@ type RunSLO struct {
 	// ETA is the current completion prediction: the estimator's figure at
 	// launch, refined from simulation progress while the run executes,
 	// and the actual end once finished.
-	ETA      float64 `json:"eta,omitempty"`
-	End      float64 `json:"end,omitempty"`
-	Walltime float64 `json:"walltime,omitempty"`
+	ETA float64 `json:"eta,omitempty"`
+	// LaunchETA preserves the launch-time prediction after ETA is refined
+	// or overwritten by the actual end — the plan the drift rule compares
+	// reality against.
+	LaunchETA float64 `json:"launch_eta,omitempty"`
+	End       float64 `json:"end,omitempty"`
+	Walltime  float64 `json:"walltime,omitempty"`
 	// Budget is the lateness budget remaining: deadline minus ETA.
 	// Negative means the run is (predicted) late.
 	Budget float64 `json:"budget"`
@@ -92,6 +96,10 @@ type Options struct {
 	// evaluated every tick, after Thresholds.
 	Staleness []StalenessRule
 	Rates     []RateRule
+	// Drift fires when a completed run lands far from its launch-time
+	// prediction — the plan-vs-actual feedback rule. The zero value
+	// (RelAbove 0) disables it.
+	Drift DriftRule
 	// Expected lists the forecasts that must produce a run every campaign
 	// day — the data-quality rule for "a run we expected never appeared".
 	// Attach fills it from the campaign roster. Empty disables the check.
@@ -335,6 +343,7 @@ func (m *Monitor) ObserveRecord(rec *logs.RunRecord) {
 		r.Start = rec.Start
 		r.Deadline = m.deadlineFor(rec.Forecast, rec.Day)
 		r.ETA = m.launchETA(rec)
+		r.LaunchETA = r.ETA
 		if r.ETA > 0 {
 			r.Budget = r.Deadline - r.ETA
 		} else {
@@ -374,6 +383,7 @@ func (m *Monitor) ObserveRecord(rec *logs.RunRecord) {
 			m.book.resolve(m.now, "deadline:"+key)
 		}
 		m.checkRegression(rec)
+		m.checkDrift(r)
 		m.records = append(m.records, rec)
 		m.walltimes[rec.Forecast] = append(m.walltimes[rec.Forecast], rec.Walltime)
 		m.estDirty = true

@@ -4,18 +4,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/telemetry"
 )
 
 // Server exposes the control room over HTTP:
 //
-//	GET /            live HTML dashboard (auto-refreshing)
-//	GET /healthz     liveness JSON: clock, tracked runs, firing alerts
-//	GET /metrics     the telemetry registry in Prometheus text format
-//	GET /api/status  the full Status snapshot as JSON
-//	GET /api/alerts  the alert history as JSON
-//	GET /api/slo     the SLO report as JSON
+//	GET /                 live HTML dashboard (auto-refreshing)
+//	GET /healthz          liveness JSON: clock, tracked runs, firing alerts
+//	GET /metrics          the telemetry registry in Prometheus text format
+//	GET /api/status       the full Status snapshot as JSON
+//	GET /api/alerts       the alert history as JSON
+//	GET /api/slo          the SLO report as JSON
+//	GET /api/harvest      the harvest pipeline's status (when attached)
+//	GET /api/utilization  the usage sampler's status (when attached)
+//	GET /debug/pprof/     Go profiling endpoints (when EnablePprof)
 //
 // Handlers read monitor snapshots under its lock and never touch the
 // simulation engine, so the server can run on wall-clock goroutines
@@ -24,12 +28,16 @@ type Server struct {
 	mon       *Monitor
 	reg       *telemetry.Registry
 	harvestFn func() any
+	utilFn    func() any
+	runtime   *telemetry.RuntimeCollector
+	pprofOn   bool
 }
 
 // NewServer builds a Server for a monitor. reg (may be nil) backs
-// /metrics; pass the campaign's telemetry registry.
+// /metrics and receives the Go runtime gauges, collected on every
+// scrape — the control room watches its own serving process too.
 func NewServer(mon *Monitor, reg *telemetry.Registry) *Server {
-	return &Server{mon: mon, reg: reg}
+	return &Server{mon: mon, reg: reg, runtime: telemetry.NewRuntimeCollector(reg)}
 }
 
 // AttachHarvest wires the harvest pipeline's status into the server: fn
@@ -38,6 +46,17 @@ func NewServer(mon *Monitor, reg *telemetry.Registry) *Server {
 // harvest package — it serves whatever snapshot fn returns. Call before
 // the server starts handling requests.
 func (s *Server) AttachHarvest(fn func() any) { s.harvestFn = fn }
+
+// AttachUtilization wires the usage sampler's status into the server: fn
+// (typically a closure over Sampler.Status) backs GET /api/utilization
+// and the dashboard's heatmap panel. Call before the server starts
+// handling requests.
+func (s *Server) AttachUtilization(fn func() any) { s.utilFn = fn }
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the next
+// Handler call — opt-in, because the profiler exposes stacks and heap
+// contents an operator console should not serve by default.
+func (s *Server) EnablePprof() { s.pprofOn = true }
 
 // Handler returns the control room's routing mux.
 func (s *Server) Handler() http.Handler {
@@ -49,6 +68,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/alerts", s.handleAlerts)
 	mux.HandleFunc("GET /api/slo", s.handleSLO)
 	mux.HandleFunc("GET /api/harvest", s.handleHarvest)
+	mux.HandleFunc("GET /api/utilization", s.handleUtilization)
+	if s.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -78,10 +105,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no metrics registry configured", http.StatusNotFound)
 		return
 	}
+	s.runtime.Collect()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	if err := s.reg.WritePrometheus(w); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
+	if s.utilFn == nil {
+		http.Error(w, "no usage sampler attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.utilFn())
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -136,6 +172,11 @@ td, th { padding: 2px 10px; border-bottom: 1px solid #333; text-align: left; }
 <h2>alerts</h2><table id="alerts"></table>
 <h2>runs</h2><table id="runs"></table>
 <h2>nodes</h2><table id="nodes"></table>
+<div id="util-panel" style="display:none">
+<h2>utilization <span id="util-legend" class="dim"></span></h2>
+<pre id="util-heatmap" style="line-height:1.1"></pre>
+<table id="util-windows"></table>
+</div>
 <div id="harvest-panel" style="display:none">
 <h2>harvest</h2>
 <div id="harvest-summary" class="dim"></div>
@@ -206,6 +247,38 @@ async function refresh() {
           '<tr><td class="warn">' + e.path + '</td><td class="dim">' + e.error + "</td></tr>").join("");
     }
   } catch (e) { /* harvest panel is optional */ }
+  try {
+    const resp = await fetch("api/utilization");
+    if (resp.ok) {
+      const u = await resp.json();
+      document.getElementById("util-panel").style.display = "";
+      const shades = [" ", "░", "▒", "▓", "█"];
+      const grid = u.grid || {};
+      const names = grid.nodes || [];
+      const width = Math.max(...names.map(n => n.length), 4);
+      const lines = names.map((name, i) => {
+        const row = (grid.utilization || [])[i] || [];
+        const cells = row.slice(-120).map(v => {
+          v = Math.max(0, Math.min(1, v));
+          let k = Math.round(v * (shades.length - 1));
+          if (v > 0 && k === 0) k = 1;
+          return shades[k];
+        }).join("");
+        return name.padEnd(width) + " |" + cells + "|";
+      });
+      document.getElementById("util-heatmap").textContent = lines.join("\n");
+      document.getElementById("util-legend").textContent =
+        "· per-node utilization, " + hhmm(grid.step || 0) + " per column · " +
+        "scale " + shades.map((s, i) => s + "=" + (i / (shades.length - 1)).toFixed(2)).join(" ");
+      const ws = (u.windows || []).filter(w => w.kind === "contention").slice(-10).reverse();
+      document.getElementById("util-windows").innerHTML = ws.length === 0 ? "" :
+        "<tr><th>contention window</th><th>from</th><th>to</th><th>peak k</th><th>mean share</th></tr>" +
+        ws.map(w =>
+          '<tr><td class="warn">' + w.node + "</td><td>" + hhmm(w.start) + "</td><td>" + hhmm(w.end) +
+          "</td><td>" + (w.peak_active || "-") + "</td><td>" +
+          (w.mean_share ? w.mean_share.toFixed(2) : "-") + "</td></tr>").join("");
+    }
+  } catch (e) { /* utilization panel is optional */ }
 }
 refresh();
 setInterval(refresh, 2000);

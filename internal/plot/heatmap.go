@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// shades maps intensity in [0, 1] to a terminal cell, light to dark.
+var shades = []rune{' ', '░', '▒', '▓', '█'}
+
+// Heatmap renders a nodes×time intensity grid as text — the utilization
+// view of the control room: one row per node, one column per timeline
+// bucket, cell darkness proportional to the value in [0, 1]. Cells
+// outside [0, 1] are clamped; NaN renders as '·' (no data).
+type Heatmap struct {
+	Title string
+	Rows  []string    // row labels, top to bottom
+	Start float64     // time of the first column, seconds
+	Step  float64     // seconds per column
+	Cells [][]float64 // Cells[i] is row i; rows may have differing lengths
+	Width int         // max columns rendered (default 96); earlier columns drop
+}
+
+// Render draws the heatmap with a time axis and a shade legend.
+func (h Heatmap) Render() string {
+	width := h.Width
+	if width <= 0 {
+		width = 96
+	}
+	cols := 0
+	for _, row := range h.Cells {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	first := 0
+	if cols > width {
+		first = cols - width
+	}
+	shown := cols - first
+
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s\n", h.Title)
+	}
+	label := 0
+	for _, r := range h.Rows {
+		if len(r) > label {
+			label = len(r)
+		}
+	}
+	for i, r := range h.Rows {
+		fmt.Fprintf(&b, "%-*s |", label, r)
+		var row []float64
+		if i < len(h.Cells) {
+			row = h.Cells[i]
+		}
+		for c := first; c < cols; c++ {
+			if c >= len(row) {
+				b.WriteRune(' ')
+				continue
+			}
+			v := row[c]
+			if math.IsNaN(v) {
+				b.WriteRune('·')
+				continue
+			}
+			v = math.Max(0, math.Min(1, v))
+			idx := int(v * float64(len(shades)-1))
+			if v > 0 && idx == 0 {
+				idx = 1 // visible trace for any positive value
+			}
+			b.WriteRune(shades[idx])
+		}
+		b.WriteString("|\n")
+	}
+	if shown > 0 && h.Step > 0 {
+		from := h.Start + float64(first)*h.Step
+		to := h.Start + float64(cols)*h.Step
+		axis := fmt.Sprintf("%s%s", strings.Repeat(" ", label+2), formatClock(from))
+		right := formatClock(to)
+		pad := label + 2 + shown - len(axis) - len(right)
+		if pad < 1 {
+			pad = 1
+		}
+		b.WriteString(axis + strings.Repeat(" ", pad) + right + "\n")
+	}
+	fmt.Fprintf(&b, "%sscale:", strings.Repeat(" ", label+2))
+	for i, s := range shades {
+		fmt.Fprintf(&b, " %c=%.2f", s, float64(i)/float64(len(shades)-1))
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// formatClock renders seconds as d+hh:mm when past a day, else hh:mm.
+func formatClock(sec float64) string {
+	if sec < 0 {
+		sec = 0
+	}
+	day := int(sec) / 86400
+	rem := int(sec) % 86400
+	if day > 0 {
+		return fmt.Sprintf("%d+%02d:%02d", day, rem/3600, (rem%3600)/60)
+	}
+	return fmt.Sprintf("%02d:%02d", rem/3600, (rem%3600)/60)
+}

@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRender(t *testing.T) {
+	out := Heatmap{
+		Title: "cpu share",
+		Rows:  []string{"fnode01", "fnode02"},
+		Start: 0,
+		Step:  3600,
+		Cells: [][]float64{
+			{0, 0.3, 1.0, math.NaN()},
+			{1.0, 2.5, -1, 0.5},
+		},
+	}.Render()
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "cpu share") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	// Row 1: zero → blank, 0.3 → light shade, 1.0 → full block, NaN → dot.
+	if !strings.Contains(out, "fnode01 | ░█·|") {
+		t.Errorf("fnode01 row wrong:\n%s", out)
+	}
+	// Row 2: values outside [0,1] clamp to the extremes.
+	if !strings.Contains(out, "fnode02 |██ ▒|") {
+		t.Errorf("fnode02 row not clamped:\n%s", out)
+	}
+	// Time axis spans the bucket range, legend explains the shades.
+	if !strings.Contains(out, "00:00") || !strings.Contains(out, "04:00") {
+		t.Errorf("missing time axis:\n%s", out)
+	}
+	if !strings.Contains(out, "scale:") || !strings.Contains(out, "█=1.00") {
+		t.Errorf("missing shade legend:\n%s", out)
+	}
+}
+
+// Width caps the rendered columns: older columns drop, and the axis
+// start shifts to the first shown bucket.
+func TestHeatmapWidthTruncation(t *testing.T) {
+	cells := make([]float64, 10)
+	for i := range cells {
+		cells[i] = 1
+	}
+	out := Heatmap{
+		Rows:  []string{"n"},
+		Step:  3600,
+		Cells: [][]float64{cells},
+		Width: 4,
+	}.Render()
+	if !strings.Contains(out, "n |████|") {
+		t.Errorf("row not truncated to width:\n%s", out)
+	}
+	// 10 buckets, 4 shown: axis starts at bucket 6 (06:00) and ends at 10:00.
+	if !strings.Contains(out, "06:00") || !strings.Contains(out, "10:00") {
+		t.Errorf("axis not shifted to shown range:\n%s", out)
+	}
+}
+
+// A positive value too small for shade index 1 still renders a visible
+// trace, and a missing row (fewer Cells than Rows) renders blank.
+func TestHeatmapVisibleTraceAndMissingRow(t *testing.T) {
+	out := Heatmap{
+		Rows:  []string{"a", "b"},
+		Step:  60,
+		Cells: [][]float64{{0.01, 0.01}},
+	}.Render()
+	if !strings.Contains(out, "a |░░|") {
+		t.Errorf("small positive values invisible:\n%s", out)
+	}
+	if !strings.Contains(out, "b |  |") {
+		t.Errorf("missing row not blank:\n%s", out)
+	}
+}
+
+func TestFormatClock(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{0, "00:00"},
+		{3660, "01:01"},
+		{-5, "00:00"},
+		{90000, "1+01:00"},
+	}
+	for _, tc := range cases {
+		if got := formatClock(tc.sec); got != tc.want {
+			t.Errorf("formatClock(%v) = %q, want %q", tc.sec, got, tc.want)
+		}
+	}
+}

@@ -32,8 +32,12 @@ type Resource struct {
 	taskSeq  int64 // monotonically identifies tasks for deterministic ordering
 
 	// busyIntegral accumulates ∫ rate_total dt for utilization accounting.
+	// totalRate caches Σ task rates, maintained by retimeAll, so settling
+	// the integral is O(1) — callers like the usage sampler settle on
+	// every timeline tick.
 	busyIntegral float64
 	lastAccount  float64
+	totalRate    float64
 }
 
 // NewResource creates a fair-share resource. capacity is the aggregate rate
@@ -264,11 +268,7 @@ func (r *Resource) BusySeconds() float64 {
 func (r *Resource) accountTo(now float64) {
 	dt := now - r.lastAccount
 	if dt > 0 {
-		var total float64
-		for t := range r.tasks {
-			total += t.rate
-		}
-		r.busyIntegral += total * dt
+		r.busyIntegral += r.totalRate * dt
 	}
 	r.lastAccount = now
 }
@@ -303,6 +303,10 @@ func (r *Resource) retimeAll() {
 	// (ties at the same instant fire in submission order).
 	sort.Slice(tasks, func(i, j int) bool { return tasks[i].seq < tasks[j].seq })
 	r.waterFill(tasks)
+	r.totalRate = 0
+	for _, t := range tasks {
+		r.totalRate += t.rate
+	}
 	for _, t := range tasks {
 		t.timer.Cancel()
 		t.timer = nil

@@ -27,9 +27,11 @@ type Engine struct {
 	fired int64 // events delivered since creation
 
 	// Optional telemetry handles, resolved once by Instrument so the
-	// per-event cost is two nil-safe atomic operations.
-	mEvents *telemetry.Counter
-	mClock  *telemetry.Gauge
+	// per-event cost is a few nil-safe atomic operations.
+	mEvents  *telemetry.Counter
+	mClock   *telemetry.Gauge
+	mPending *telemetry.Gauge
+	mLag     *telemetry.Gauge
 }
 
 // NewEngine returns an engine with the clock at time zero.
@@ -45,16 +47,33 @@ func (e *Engine) EventsFired() int64 { return e.fired }
 
 // Instrument registers the engine's kernel metrics with a registry:
 // sim_events_fired_total counts delivered events, sim_clock_seconds
-// tracks the virtual clock. A nil registry detaches the instruments.
+// tracks the virtual clock, sim_pending_events gauges the event-queue
+// length (a growing queue while the clock stalls is the signature of an
+// engine pile-up), and sim_replay_lag_seconds (fed by ObserveReplayLag)
+// shows how far a paced replay trails its wall-clock schedule. A nil
+// registry detaches the instruments.
 func (e *Engine) Instrument(reg *telemetry.Registry) {
 	if reg == nil {
-		e.mEvents, e.mClock = nil, nil
+		e.mEvents, e.mClock, e.mPending, e.mLag = nil, nil, nil, nil
 		return
 	}
 	reg.Describe("sim_events_fired_total", "Discrete events delivered by the simulation kernel.")
 	reg.Describe("sim_clock_seconds", "Current virtual time of the simulation clock.")
+	reg.Describe("sim_pending_events", "Events waiting in the simulation queue.")
+	reg.Describe("sim_replay_lag_seconds", "Sim-time deficit of a paced replay against its wall-clock schedule.")
 	e.mEvents = reg.Counter("sim_events_fired_total", nil)
 	e.mClock = reg.Gauge("sim_clock_seconds", nil)
+	e.mPending = reg.Gauge("sim_pending_events", nil)
+	e.mLag = reg.Gauge("sim_replay_lag_seconds", nil)
+	e.mPending.Set(float64(len(e.queue)))
+}
+
+// ObserveReplayLag records how far the virtual clock trails a paced
+// replay's schedule: expected is the sim time the replay should have
+// reached by now. Positive lag means the engine cannot keep up with the
+// requested replay rate — a stall the dashboard makes visible.
+func (e *Engine) ObserveReplayLag(expected float64) {
+	e.mLag.Set(expected - e.now)
 }
 
 // Timer is a handle to a scheduled event. It can be cancelled before it
@@ -109,6 +128,7 @@ func (e *Engine) At(when float64, fn func()) *Timer {
 	e.seq++
 	t := &Timer{when: when, seq: e.seq, fn: fn, owner: e}
 	heap.Push(&e.queue, t)
+	e.mPending.Set(float64(len(e.queue)))
 	return t
 }
 
@@ -148,6 +168,7 @@ func (e *Engine) Step() bool {
 	e.fired++
 	e.mEvents.Inc()
 	e.mClock.Set(e.now)
+	e.mPending.Set(float64(len(e.queue)))
 	fn := t.fn
 	t.fn = nil
 	fn()

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestInstrumentKernelMetrics(t *testing.T) {
+	e := NewEngine()
+	reg := telemetry.NewRegistry()
+	e.At(10, func() {})
+	e.At(20, func() { e.At(30, func() {}) })
+	e.Instrument(reg)
+
+	pending := reg.Gauge("sim_pending_events", nil)
+	if got := pending.Value(); got != 2 {
+		t.Fatalf("sim_pending_events = %v immediately after Instrument, want 2", got)
+	}
+	e.Run()
+	if got := reg.Counter("sim_events_fired_total", nil).Value(); got != 3 {
+		t.Errorf("sim_events_fired_total = %v, want 3", got)
+	}
+	if got := reg.Gauge("sim_clock_seconds", nil).Value(); got != 30 {
+		t.Errorf("sim_clock_seconds = %v, want 30", got)
+	}
+	if got := pending.Value(); got != 0 {
+		t.Errorf("sim_pending_events = %v after drain, want 0", got)
+	}
+}
+
+// Replay lag is the deficit between where a paced replay should be and
+// where the clock is: positive when the engine trails, negative when it
+// leads.
+func TestObserveReplayLag(t *testing.T) {
+	e := NewEngine()
+	reg := telemetry.NewRegistry()
+	e.Instrument(reg)
+	e.At(100, func() { e.ObserveReplayLag(175) })
+	e.Run()
+	if got := reg.Gauge("sim_replay_lag_seconds", nil).Value(); got != 75 {
+		t.Errorf("sim_replay_lag_seconds = %v, want 75", got)
+	}
+}
+
+// Instrument(nil) detaches the handles; the event path and lag observer
+// must stay safe without a registry.
+func TestInstrumentDetach(t *testing.T) {
+	e := NewEngine()
+	e.Instrument(telemetry.NewRegistry())
+	e.Instrument(nil)
+	e.At(5, func() { e.ObserveReplayLag(10) })
+	e.Run()
+	if e.EventsFired() != 1 {
+		t.Errorf("EventsFired = %d, want 1", e.EventsFired())
+	}
+}

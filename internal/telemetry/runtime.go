@@ -1,0 +1,58 @@
+package telemetry
+
+import "runtime"
+
+// Runtime metric names exported by RuntimeCollector.
+const (
+	MetricGoroutines  = "go_goroutines"
+	MetricHeapAlloc   = "go_heap_alloc_bytes"
+	MetricHeapObjects = "go_heap_objects"
+	MetricGCPauses    = "go_gc_pause_seconds_total"
+	MetricGCRuns      = "go_gc_runs_total"
+)
+
+// RuntimeCollector samples Go runtime health — goroutine count, heap
+// bytes and objects, cumulative GC pause time and GC runs — into gauges
+// on a registry. Unlike the sim-time metrics, these are wall-clock facts
+// about the serving process; the control-room server collects them on
+// every /metrics scrape so a leak or GC storm in the monitor itself is
+// observable from the same dashboard as the factory.
+type RuntimeCollector struct {
+	gGoroutines  *Gauge
+	gHeapAlloc   *Gauge
+	gHeapObjects *Gauge
+	gGCPauses    *Gauge
+	gGCRuns      *Gauge
+}
+
+// NewRuntimeCollector registers the runtime gauges with reg and returns
+// a collector. A nil registry yields a collector whose Collect is a
+// no-op, matching the package's nil-safety convention.
+func NewRuntimeCollector(reg *Registry) *RuntimeCollector {
+	reg.Describe(MetricGoroutines, "Goroutines currently live in the serving process.")
+	reg.Describe(MetricHeapAlloc, "Heap bytes allocated and still in use.")
+	reg.Describe(MetricHeapObjects, "Heap objects allocated and still in use.")
+	reg.Describe(MetricGCPauses, "Cumulative stop-the-world GC pause seconds.")
+	reg.Describe(MetricGCRuns, "Completed GC cycles.")
+	return &RuntimeCollector{
+		gGoroutines:  reg.Gauge(MetricGoroutines, nil),
+		gHeapAlloc:   reg.Gauge(MetricHeapAlloc, nil),
+		gHeapObjects: reg.Gauge(MetricHeapObjects, nil),
+		gGCPauses:    reg.Gauge(MetricGCPauses, nil),
+		gGCRuns:      reg.Gauge(MetricGCRuns, nil),
+	}
+}
+
+// Collect refreshes the gauges from the runtime. Safe on a nil collector.
+func (c *RuntimeCollector) Collect() {
+	if c == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.gGoroutines.Set(float64(runtime.NumGoroutine()))
+	c.gHeapAlloc.Set(float64(ms.HeapAlloc))
+	c.gHeapObjects.Set(float64(ms.HeapObjects))
+	c.gGCPauses.Set(float64(ms.PauseTotalNs) / 1e9)
+	c.gGCRuns.Set(float64(ms.NumGC))
+}

@@ -1,0 +1,26 @@
+package telemetry
+
+import "testing"
+
+func TestRuntimeCollectorPopulatesGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Collect()
+	if g := reg.Gauge(MetricGoroutines, nil).Value(); g < 1 {
+		t.Errorf("%s = %v, want at least the test goroutine", MetricGoroutines, g)
+	}
+	if h := reg.Gauge(MetricHeapAlloc, nil).Value(); h <= 0 {
+		t.Errorf("%s = %v, want positive heap", MetricHeapAlloc, h)
+	}
+	if o := reg.Gauge(MetricHeapObjects, nil).Value(); o <= 0 {
+		t.Errorf("%s = %v, want live objects", MetricHeapObjects, o)
+	}
+}
+
+// The nil-registry and nil-collector paths are no-ops, matching the
+// package convention.
+func TestRuntimeCollectorNilSafety(t *testing.T) {
+	NewRuntimeCollector(nil).Collect()
+	var c *RuntimeCollector
+	c.Collect()
+}

@@ -1,0 +1,475 @@
+package usage
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/statsdb"
+	"repro/internal/telemetry"
+)
+
+const eps = 1e-6
+
+func almost(a, b float64) bool { return math.Abs(a-b) < eps }
+
+// TestSamplerExactTimeline is the paper's §4.1 sharing example driven
+// through the sampler: 3 jobs of 1000 reference CPU-seconds on a 2-CPU
+// node all finish at 1500 with share 2/3, and every 600-second bucket
+// must integrate that trajectory exactly.
+func TestSamplerExactTimeline(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n := c.AddNode("n", 2, 1.0)
+	s := NewSampler(c, Options{Interval: 600})
+	for _, label := range []string{"a", "b", "c"} {
+		n.Submit(label, 1000, nil)
+	}
+	s.Start(2400)
+	e.RunUntil(2400)
+	s.Finalize(e.Now())
+
+	samples := s.Samples()
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples, want 4: %+v", len(samples), samples)
+	}
+	want := []Sample{
+		{Node: "n", Start: 0, End: 600, Utilization: 1, MeanShare: 2.0 / 3, MeanActive: 3, PeakActive: 3, ContentionSecs: 600},
+		{Node: "n", Start: 600, End: 1200, Utilization: 1, MeanShare: 2.0 / 3, MeanActive: 3, PeakActive: 3, ContentionSecs: 600},
+		{Node: "n", Start: 1200, End: 1800, Utilization: 0.5, MeanShare: 2.0 / 3, MeanActive: 1.5, PeakActive: 3, ContentionSecs: 300, IdleSecs: 300},
+		{Node: "n", Start: 1800, End: 2400, Utilization: 0, MeanShare: 1, MeanActive: 0, PeakActive: 0, IdleSecs: 600},
+	}
+	for i, w := range want {
+		g := samples[i]
+		if g.Node != w.Node || !almost(g.Start, w.Start) || !almost(g.End, w.End) ||
+			!almost(g.Utilization, w.Utilization) || !almost(g.MeanShare, w.MeanShare) ||
+			!almost(g.MeanActive, w.MeanActive) || g.PeakActive != w.PeakActive ||
+			!almost(g.ContentionSecs, w.ContentionSecs) || !almost(g.IdleSecs, w.IdleSecs) ||
+			!almost(g.DownSecs, w.DownSecs) {
+			t.Errorf("sample %d = %+v, want %+v", i, g, w)
+		}
+	}
+
+	windows := s.Windows()
+	if len(windows) != 2 {
+		t.Fatalf("got %d windows, want contention+idle: %+v", len(windows), windows)
+	}
+	cw, iw := windows[0], windows[1]
+	if cw.Kind != WindowContention || !almost(cw.Start, 0) || !almost(cw.End, 1500) ||
+		cw.PeakActive != 3 || !almost(cw.MeanShare, 2.0/3) {
+		t.Errorf("contention window = %+v, want [0,1500] peak 3 share 2/3", cw)
+	}
+	if iw.Kind != WindowIdle || !almost(iw.Start, 1500) || !almost(iw.End, 2400) {
+		t.Errorf("idle window = %+v, want [1500,2400]", iw)
+	}
+}
+
+// TestWindowMergeAcrossChurn: a job finishing and its successor starting
+// at the same virtual instant must not split the contention window — the
+// factory's incremental workloads do this 96 times per run.
+func TestWindowMergeAcrossChurn(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n := c.AddNode("n", 1, 1.0)
+	s := NewSampler(c, Options{Interval: 600})
+	// A (100) and B (1000) share the single CPU; A finishes at 200 and
+	// its done callback submits C at the same instant, so contention
+	// closes and reopens at t=200 with zero gap.
+	n.Submit("a", 100, func() { n.Submit("c", 2000, nil) })
+	n.Submit("b", 1000, nil)
+	e.Run()
+	s.Finalize(e.Now())
+
+	var cont []Window
+	for _, w := range s.Windows() {
+		if w.Kind == WindowContention {
+			cont = append(cont, w)
+		}
+	}
+	if len(cont) != 1 {
+		t.Fatalf("got %d contention windows, want 1 merged: %+v", len(cont), cont)
+	}
+	// B finishes at 2000 (share 1/2 throughout); the merged window spans
+	// [0, 2000] even though contention churned at 200.
+	w := cont[0]
+	if !almost(w.Start, 0) || !almost(w.End, 2000) || w.PeakActive != 2 || !almost(w.MeanShare, 0.5) {
+		t.Errorf("merged window = %+v, want [0,2000] peak 2 share 0.5", w)
+	}
+}
+
+// TestSeparateWindowsAcrossRealGap: contention separated by positive
+// uncontended sim-time stays two windows.
+func TestSeparateWindowsAcrossRealGap(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n := c.AddNode("n", 1, 1.0)
+	s := NewSampler(c, Options{Interval: 600})
+	n.Submit("a", 100, nil)
+	n.Submit("b", 100, nil) // both done at 200; contention [0,200]
+	e.At(300, func() {
+		n.Submit("c", 100, nil)
+		n.Submit("d", 100, nil) // contention [300,500]
+	})
+	e.Run()
+	s.Finalize(e.Now())
+	var cont []Window
+	for _, w := range s.Windows() {
+		if w.Kind == WindowContention {
+			cont = append(cont, w)
+		}
+	}
+	if len(cont) != 2 {
+		t.Fatalf("got %d contention windows, want 2: %+v", len(cont), cont)
+	}
+	if !almost(cont[0].Start, 0) || !almost(cont[0].End, 200) ||
+		!almost(cont[1].Start, 300) || !almost(cont[1].End, 500) {
+		t.Errorf("windows = %+v, want [0,200] and [300,500]", cont)
+	}
+}
+
+// TestMinWindowFilter drops windows shorter than the floor.
+func TestMinWindowFilter(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n := c.AddNode("n", 1, 1.0)
+	s := NewSampler(c, Options{Interval: 600, MinWindow: 150})
+	n.Submit("a", 50, nil)
+	n.Submit("b", 50, nil) // contention [0,100]: below the floor
+	e.Run()
+	s.Finalize(e.Now())
+	for _, w := range s.Windows() {
+		if w.Kind == WindowContention {
+			t.Errorf("short contention window survived MinWindow: %+v", w)
+		}
+	}
+}
+
+// TestDownNodeAccounting: failed time lands in DownSecs and closes any
+// open contention window.
+func TestDownNodeAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n := c.AddNode("n", 1, 1.0)
+	s := NewSampler(c, Options{Interval: 1000})
+	n.Submit("a", 200, nil)
+	n.Submit("b", 200, nil) // contended from 0
+	e.At(100, func() { n.Fail() })
+	e.At(400, func() { n.Repair() })
+	e.Run() // jobs freeze 100..400, finish at 100+300(down)+300 = 700
+	s.Finalize(1000)
+
+	samples := s.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	g := samples[0]
+	if !almost(g.DownSecs, 300) || !almost(g.ContentionSecs, 400) || !almost(g.IdleSecs, 300) {
+		t.Errorf("sample = %+v, want down 300 / contention 400 / idle 300", g)
+	}
+	// The fail at 100 closes the first contention stretch; repair reopens
+	// it. Both survive (separated by down time, not a zero gap).
+	var cont []Window
+	for _, w := range s.Windows() {
+		if w.Kind == WindowContention {
+			cont = append(cont, w)
+		}
+	}
+	if len(cont) != 2 || !almost(cont[0].End, 100) || !almost(cont[1].Start, 400) {
+		t.Errorf("contention windows = %+v, want [0,100] and [400,700]", cont)
+	}
+}
+
+// TestJobShareAggregation: increment labels "x[i/n]" collapse into one
+// per-day family row with the observed mean share.
+func TestJobShareAggregation(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n := c.AddNode("n", 1, 1.0)
+	s := NewSampler(c, Options{Interval: 600})
+	// Two increments of "sim:f" back to back, sharing with "other".
+	n.Submit("sim:f[0/2]", 100, func() { n.Submit("sim:f[1/2]", 100, nil) })
+	n.Submit("other", 1000, nil)
+	e.Run()
+	s.Finalize(e.Now())
+
+	shares := s.JobShares()
+	if len(shares) != 2 {
+		t.Fatalf("got %d job shares, want 2: %+v", len(shares), shares)
+	}
+	f := shares[1] // sorted by (node, job, day): "other" < "sim:f"
+	if f.Job != "sim:f" || f.Jobs != 2 || f.Day != 0 {
+		t.Fatalf("aggregate = %+v, want sim:f with 2 jobs", f)
+	}
+	// Both increments ran at share 1/2 (always sharing with "other").
+	if !almost(f.MeanShare(), 0.5) || !almost(f.RunSecs, 400) {
+		t.Errorf("mean share %v over %v run secs, want 0.5 over 400", f.MeanShare(), f.RunSecs)
+	}
+}
+
+// TestMeanShareOver integrates the flushed timeline.
+func TestMeanShareOver(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n := c.AddNode("n", 2, 1.0)
+	s := NewSampler(c, Options{Interval: 600})
+	for _, label := range []string{"a", "b", "c"} {
+		n.Submit(label, 1000, nil)
+	}
+	e.RunUntil(2400)
+	s.Finalize(e.Now())
+
+	if got := s.MeanShareOver("n", 0, 1500); !almost(got, 2.0/3) {
+		t.Errorf("MeanShareOver(0,1500) = %v, want 2/3", got)
+	}
+	if got := s.MeanShareOver("n", 1800, 2400); !almost(got, 1) {
+		t.Errorf("MeanShareOver over idle time = %v, want 1", got)
+	}
+	if got := s.MeanShareOver("nosuch", 0, 1); !almost(got, 1) {
+		t.Errorf("MeanShareOver on unknown node = %v, want 1", got)
+	}
+}
+
+// TestSamplerTelemetry checks the gauges and counters the monitor's
+// alert rules evaluate.
+func TestSamplerTelemetry(t *testing.T) {
+	tel := telemetry.New()
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n1 := c.AddNode("n1", 1, 1.0)
+	c.AddNode("n2", 1, 1.0)
+	s := NewSampler(c, Options{Interval: 100, Telemetry: tel})
+	reg := tel.Registry()
+
+	n1.Submit("a", 1000, nil)
+	n1.Submit("b", 1000, nil) // n1 contended, n2 idle → imbalance
+	e.RunUntil(300)
+	s.Tick()
+
+	labels := telemetry.Labels{"node": "n1"}
+	if got := reg.Gauge(MetricNodeShare, labels).Value(); !almost(got, 0.5) {
+		t.Errorf("node share gauge = %v, want 0.5", got)
+	}
+	if got := reg.Gauge(MetricNodeActive, labels).Value(); !almost(got, 2) {
+		t.Errorf("node active gauge = %v, want 2", got)
+	}
+	if got := reg.Gauge(MetricContentionAge, labels).Value(); !almost(got, 300) {
+		t.Errorf("contention age = %v, want 300", got)
+	}
+	if got := reg.Gauge(MetricIdleWhileSat, nil).Value(); !almost(got, 1) {
+		t.Errorf("idle-while-saturated = %v, want 1 (n2)", got)
+	}
+	if got := reg.Gauge(MetricImbalanceAge, nil).Value(); !almost(got, 300) {
+		t.Errorf("imbalance age = %v, want 300", got)
+	}
+	if got := reg.Counter(MetricSamplesTotal, nil).Value(); !almost(got, 2*3) {
+		t.Errorf("samples counter = %v, want 6 (2 nodes × 3 buckets)", got)
+	}
+	if got := reg.Counter(MetricContentionTotal, labels).Value(); !almost(got, 1) {
+		t.Errorf("contention windows counter = %v, want 1", got)
+	}
+}
+
+// TestStatusGrid checks the rolling dashboard snapshot: column cap and
+// node summaries.
+func TestStatusGrid(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n := c.AddNode("n", 2, 1.0)
+	s := NewSampler(c, Options{Interval: 100, StatusCols: 3})
+	n.Submit("a", 1000, nil)
+	s.Start(1000)
+	e.RunUntil(1000)
+
+	st := s.Status()
+	if len(st.Grid.Nodes) != 1 || st.Grid.Nodes[0] != "n" {
+		t.Fatalf("grid nodes = %v", st.Grid.Nodes)
+	}
+	if len(st.Grid.Utilization[0]) != 3 {
+		t.Fatalf("grid cols = %d, want StatusCols cap 3", len(st.Grid.Utilization[0]))
+	}
+	// 10 buckets flushed; the grid shows the last 3, starting at 700.
+	if !almost(st.Grid.Start, 700) {
+		t.Errorf("grid start = %v, want 700", st.Grid.Start)
+	}
+	if len(st.Nodes) != 1 || st.Nodes[0].CPUs != 2 {
+		t.Errorf("node summaries = %+v", st.Nodes)
+	}
+}
+
+// TestCondenseGrid checks the full-campaign heatmap re-bucketing:
+// duration-weighted means, NaN for empty cells.
+func TestCondenseGrid(t *testing.T) {
+	samples := []Sample{
+		{Node: "a", Start: 0, End: 100, Utilization: 1, MeanShare: 0.5},
+		{Node: "a", Start: 100, End: 200, Utilization: 0, MeanShare: 1},
+		{Node: "b", Start: 100, End: 200, Utilization: 0.5, MeanShare: 1},
+	}
+	g := CondenseGrid([]string{"a", "b"}, samples, 2)
+	if !almost(g.Start, 0) || !almost(g.Step, 100) {
+		t.Fatalf("grid origin = (%v, %v), want (0, 100)", g.Start, g.Step)
+	}
+	if !almost(g.Utilization[0][0], 1) || !almost(g.Utilization[0][1], 0) {
+		t.Errorf("row a = %v, want [1 0]", g.Utilization[0])
+	}
+	if !math.IsNaN(g.Utilization[1][0]) || !almost(g.Utilization[1][1], 0.5) {
+		t.Errorf("row b = %v, want [NaN 0.5]", g.Utilization[1])
+	}
+	if !almost(g.Share[0][0], 0.5) || !almost(g.Share[1][0], 1) {
+		t.Errorf("share rows = %v, want a=0.5 and empty-cell default 1", g.Share)
+	}
+
+	// A sample straddling two columns splits its weight.
+	g = CondenseGrid([]string{"a"}, []Sample{
+		{Node: "a", Start: 0, End: 100, Utilization: 1},
+		{Node: "a", Start: 100, End: 300, Utilization: 0.4},
+	}, 3)
+	if !almost(g.Utilization[0][1], 0.4) || !almost(g.Utilization[0][2], 0.4) {
+		t.Errorf("straddling sample = %v, want 0.4 in cols 1 and 2", g.Utilization[0])
+	}
+	if g := CondenseGrid([]string{"a"}, nil, 4); len(g.Utilization) != 0 {
+		t.Errorf("empty timeline produced a grid: %+v", g)
+	}
+}
+
+// fixedShares is a canned ShareSource for drift tests.
+type fixedShares struct{ v float64 }
+
+func (f fixedShares) MeanShareOver(string, float64, float64) float64 { return f.v }
+
+// TestComputeDrift joins a plan against synthetic outcomes: skipping
+// rules, move detection, deltas, and ordering.
+func TestComputeDrift(t *testing.T) {
+	plan := &core.Plan{
+		Nodes: []core.NodeInfo{{Name: "n1", CPUs: 2, Speed: 1}, {Name: "n2", CPUs: 2, Speed: 1}},
+		Runs: []core.Run{
+			{Name: "a", Work: 1000, Start: 0},
+			{Name: "b", Work: 4000, Start: 3600},
+			{Name: "c", Work: 100, Start: 0},
+		},
+		Assign: map[string]string{"a": "n1", "b": "n1", "c": "n1"},
+	}
+	pred := core.Prediction{Completion: map[string]float64{
+		"a": 1000, "b": 7600, "c": math.Inf(1),
+	}}
+	outcomes := []Outcome{
+		{Run: "a", Node: "n2", Start: 0, End: 1300, Finished: true},    // moved, 300 late
+		{Run: "b", Node: "n1", Start: 3600, End: 7000, Finished: true}, // 600 early
+		{Run: "c", Node: "n1", Start: 0, End: 200, Finished: true},     // Inf prediction: skipped
+		{Run: "d", Node: "n1", Start: 0, End: 0, Finished: false},      // never finished: skipped
+	}
+	ds := ComputeDrift(plan, pred, outcomes, fixedShares{0.5})
+	if len(ds) != 2 {
+		t.Fatalf("got %d drifts, want 2: %+v", len(ds), ds)
+	}
+	// Sorted worst |delta| first: b (600) before a (300).
+	if ds[0].Run != "b" || ds[1].Run != "a" {
+		t.Fatalf("order = [%s %s], want [b a]", ds[0].Run, ds[1].Run)
+	}
+	b, a := ds[0], ds[1]
+	if !almost(b.EndDelta, -600) || !almost(b.RelError, 600.0/4000) || b.Moved {
+		t.Errorf("drift b = %+v, want delta -600, rel 0.15, not moved", b)
+	}
+	if !almost(a.EndDelta, 300) || !almost(a.RelError, 0.3) || !a.Moved || a.ActualNode != "n2" {
+		t.Errorf("drift a = %+v, want delta 300, rel 0.3, moved to n2", a)
+	}
+	if !almost(a.MeanShare, 0.5) {
+		t.Errorf("mean share = %v, want the share source's 0.5", a.MeanShare)
+	}
+
+	sum := Summarize(ds)
+	if sum.Runs != 2 || sum.Late != 1 || sum.Moved != 1 ||
+		!almost(sum.MeanAbs, 450) || !almost(sum.MaxAbs, 600) || sum.WorstRun != "b" ||
+		!almost(sum.MeanRel, (0.3+0.15)/2) || !almost(sum.MeanShare, 0.5) {
+		t.Errorf("summary = %+v", sum)
+	}
+	if got := Summarize(nil); got.Runs != 0 || !almost(got.MeanShare, 1) {
+		t.Errorf("empty summary = %+v", got)
+	}
+
+	// nil share source reports share 1.
+	ds = ComputeDrift(plan, pred, outcomes[:1], nil)
+	if len(ds) != 1 || !almost(ds[0].MeanShare, 1) {
+		t.Errorf("nil share source drift = %+v, want share 1", ds)
+	}
+}
+
+// TestStatsdbRoundTrip: the v3 migration creates the tables once, loads
+// are append-only, and non-finite floats are normalized before insert.
+func TestStatsdbRoundTrip(t *testing.T) {
+	db := statsdb.NewDB()
+	samples := []Sample{
+		{Node: "n1", Start: 0, End: 900, Utilization: 0.5, MeanShare: 0.75, MeanActive: 2, PeakActive: 3},
+		{Node: "n1", Start: 900, End: 1800, Utilization: math.NaN(), MeanShare: math.Inf(1)},
+	}
+	tbl, err := LoadSamples(db, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("node_usage rows = %d, want 2", tbl.Len())
+	}
+	if got := statsdb.SchemaVersion(db); got != 3 {
+		t.Fatalf("schema version = %d, want 3", got)
+	}
+	// The NaN/Inf sample landed as zeros, not an insert error.
+	row := tbl.Row(1)
+	if row[3].Float() != 0 || row[4].Float() != 0 {
+		t.Errorf("non-finite floats persisted as %v/%v, want 0/0", row[3].Float(), row[4].Float())
+	}
+	if !tbl.Indexed("node") {
+		t.Error("node_usage missing node index")
+	}
+
+	ds := []Drift{{Run: "f", Day: 3, PlannedNode: "n1", ActualNode: "n2", Moved: true,
+		PredEnd: 1000, ActualEnd: 1300, EndDelta: 300, RelError: 0.3, MeanShare: 0.5}}
+	dtbl, err := LoadDrift(db, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dtbl.Len() != 1 || !dtbl.Indexed("forecast") {
+		t.Fatalf("drift table: %d rows, indexed=%v", dtbl.Len(), dtbl.Indexed("forecast"))
+	}
+
+	// Loading again is pure append: the migration must not re-run or fail.
+	if _, err := LoadSamples(db, samples[:1]); err != nil {
+		t.Fatalf("second load: %v", err)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("rows after second load = %d, want 3", tbl.Len())
+	}
+
+	if _, err := LoadSamples(db, []Sample{{}}); err == nil {
+		t.Error("sample with empty node did not error")
+	}
+	if _, err := LoadDrift(db, []Drift{{}}); err == nil {
+		t.Error("drift with empty run did not error")
+	}
+}
+
+// TestReportAndDriftReport smoke-test the plain-text renderings.
+func TestReportAndDriftReport(t *testing.T) {
+	e := sim.NewEngine()
+	c := cluster.New(e)
+	n := c.AddNode("n", 1, 1.0)
+	s := NewSampler(c, Options{Interval: 600})
+	n.Submit("a", 100, nil)
+	n.Submit("b", 100, nil)
+	e.Run()
+	s.Finalize(e.Now())
+	rep := s.Report(5)
+	for _, want := range []string{"node", "contention", "1 contention"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	dr := DriftReport([]Drift{{Run: "f", PlannedNode: "n1", ActualNode: "n2", Moved: true,
+		PredEnd: 1000, ActualEnd: 1300, EndDelta: 300, RelError: 0.3, MeanShare: 0.5}})
+	for _, want := range []string{"f", "n2", "1 late", "1 moved"} {
+		if !strings.Contains(dr, want) {
+			t.Errorf("drift report missing %q:\n%s", want, dr)
+		}
+	}
+}
