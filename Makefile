@@ -26,13 +26,17 @@ race:
 check: test vet race
 
 # Experiment benchmarks plus the machine-readable reports uploaded as CI
-# artifacts: the harvest pipeline (BENCH_harvest.json) and the usage
+# artifacts: the harvest pipeline (BENCH_harvest.json), the usage
 # sampler's overhead budget (BENCH_usage.json, < 5% slowdown on the
-# standard fig8 campaign).
+# standard fig8 campaign), and the planner's incremental-prediction
+# speedup (BENCH_planner.json, ≥ 5× over full repredict on the
+# 200-node/2000-run drop loop, with an incremental-vs-full equivalence
+# gate).
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/harvest ./internal/usage
+	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/core ./internal/harvest ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_harvest.json $(GO) test -run TestEmitBenchReport -v ./internal/harvest
 	BENCH_OUT=$(CURDIR)/BENCH_usage.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/usage
+	BENCH_OUT=$(CURDIR)/BENCH_planner.json $(GO) test -count=1 -run TestEmitPlannerBenchReport -v ./internal/core
 
 clean:
 	$(GO) clean ./...

@@ -4,7 +4,11 @@
 // into the statistics database, estimates today's runs, packs them onto
 // nodes, prints the rough-cut capacity plan, the predicted completion
 // times as a Gantt chart, and the generated staging scripts. What-if moves
-// and node-failure rescheduling are available as flags.
+// and node-failure rescheduling are available as flags; both run on the
+// planner's incremental prediction engine, which re-sweeps only the nodes
+// an edit touches instead of repredicting the whole plant (the
+// core_predict_* metrics in -metrics-out show full vs incremental sweep
+// counts).
 //
 // Usage:
 //
@@ -273,11 +277,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "-move wants run=node, got %q\n", *moveFlag)
 			os.Exit(2)
 		}
+		makespanBefore := schedule.Prediction.Makespan()
 		if err := schedule.Move(run, node); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("what-if: moved %s to %s\n", run, node)
+		fmt.Printf("what-if: moved %s to %s (makespan %.0fs → %.0fs)\n",
+			run, node, makespanBefore, schedule.Prediction.Makespan())
 	}
 	if *failNode != "" {
 		pol := core.MinimalMove

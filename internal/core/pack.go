@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 
@@ -46,6 +47,108 @@ func (h Heuristic) String() string {
 	}
 }
 
+// loadIndex tracks normalized node loads (reference CPU-seconds over
+// capacity) in a binary min-heap keyed by (load, name), replacing the
+// planner's O(nodes) least-loaded scans with O(1) peeks and O(log nodes)
+// updates. Only up nodes are indexed; charging load to an unindexed node
+// is a no-op. Ties break by node name — the same node the old strict-less
+// scan over name-sorted nodes picked.
+type loadIndex struct {
+	entries []loadEntry
+	pos     map[string]int // node name → heap position
+}
+
+type loadEntry struct {
+	node NodeInfo
+	load float64 // reference CPU-seconds charged so far
+	norm float64 // load / capacity
+}
+
+// newLoadIndex indexes the up nodes with zero initial load.
+func newLoadIndex(nodes []NodeInfo) *loadIndex {
+	ix := &loadIndex{pos: make(map[string]int, len(nodes))}
+	for _, n := range nodes {
+		if n.Down {
+			continue
+		}
+		ix.pos[n.Name] = len(ix.entries)
+		ix.entries = append(ix.entries, loadEntry{node: n})
+	}
+	for i := len(ix.entries)/2 - 1; i >= 0; i-- {
+		ix.siftDown(i)
+	}
+	return ix
+}
+
+func (ix *loadIndex) lessAt(i, j int) bool {
+	a, b := &ix.entries[i], &ix.entries[j]
+	if a.norm != b.norm {
+		return a.norm < b.norm
+	}
+	return a.node.Name < b.node.Name
+}
+
+func (ix *loadIndex) swapAt(i, j int) {
+	ix.entries[i], ix.entries[j] = ix.entries[j], ix.entries[i]
+	ix.pos[ix.entries[i].node.Name] = i
+	ix.pos[ix.entries[j].node.Name] = j
+}
+
+func (ix *loadIndex) siftDown(i int) {
+	for {
+		smallest := i
+		if l := 2*i + 1; l < len(ix.entries) && ix.lessAt(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < len(ix.entries) && ix.lessAt(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		ix.swapAt(i, smallest)
+		i = smallest
+	}
+}
+
+// add charges work reference CPU-seconds to a node. Loads only grow, so
+// the entry can only sink in the heap.
+func (ix *loadIndex) add(name string, work float64) {
+	i, ok := ix.pos[name]
+	if !ok {
+		return
+	}
+	e := &ix.entries[i]
+	e.load += work
+	e.norm = e.load / e.node.Capacity()
+	ix.siftDown(i)
+}
+
+// least returns the node with the smallest normalized load (name
+// tiebreak), or false when no up node is indexed.
+func (ix *loadIndex) least() (NodeInfo, bool) {
+	if len(ix.entries) == 0 {
+		return NodeInfo{}, false
+	}
+	return ix.entries[0].node, true
+}
+
+// load returns a node's accumulated reference CPU-seconds.
+func (ix *loadIndex) load(name string) float64 {
+	if i, ok := ix.pos[name]; ok {
+		return ix.entries[i].load
+	}
+	return 0
+}
+
+// node looks up an indexed (up) node by name.
+func (ix *loadIndex) node(name string) (NodeInfo, bool) {
+	if i, ok := ix.pos[name]; ok {
+		return ix.entries[i].node, true
+	}
+	return NodeInfo{}, false
+}
+
 // Pack assigns every run to a node using the heuristic. The load model
 // used for packing is capacity-seconds: a run contributes Work, a node
 // offers Capacity() × window. Deadline feasibility of the resulting plan
@@ -71,7 +174,8 @@ func Pack(nodes []NodeInfo, runs []Run, h Heuristic) (map[string]string, error) 
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	up := make([]NodeInfo, 0, len(nodes))
+	ix := newLoadIndex(nodes)
+	up := make([]NodeInfo, 0, len(ix.entries))
 	for _, n := range nodes {
 		if !n.Down {
 			up = append(up, n)
@@ -82,23 +186,16 @@ func Pack(nodes []NodeInfo, runs []Run, h Heuristic) (map[string]string, error) 
 	}
 	sort.Slice(up, func(i, j int) bool { return up[i].Name < up[j].Name })
 
-	load := make(map[string]float64, len(up)) // reference CPU-seconds
 	assign := make(map[string]string, len(runs))
 
 	place := func(r Run, node NodeInfo) {
 		assign[r.Name] = node.Name
-		load[node.Name] += r.Work
+		ix.add(node.Name, r.Work)
 	}
 	leastLoaded := func() NodeInfo {
-		iters += len(up)
-		best := up[0]
-		bestLoad := load[best.Name] / best.Capacity()
-		for _, n := range up[1:] {
-			if l := load[n.Name] / n.Capacity(); l < bestLoad {
-				best, bestLoad = n, l
-			}
-		}
-		return best
+		iters++
+		n, _ := ix.least()
+		return n
 	}
 	// slack is the remaining capacity-seconds of a node within the run's
 	// window after placing the run; negative means the window is
@@ -107,15 +204,20 @@ func Pack(nodes []NodeInfo, runs []Run, h Heuristic) (map[string]string, error) 
 		iters++
 		window := r.Deadline - r.Start
 		if r.Deadline <= 0 {
-			window = 86400 - r.Start
+			// No deadline: pack against the rest of the production day
+			// the run starts in. The modulus keeps the window positive
+			// for runs starting past the first day (Start ≥ 86400),
+			// which would otherwise fail every fit and silently fall
+			// through to the least-loaded node.
+			window = 86400 - math.Mod(r.Start, 86400)
 		}
-		return n.Capacity()*window - (load[n.Name] + r.Work)
+		return n.Capacity()*window - (ix.load(n.Name) + r.Work)
 	}
 
 	switch h {
 	case StayPut:
 		for _, r := range runs {
-			if prev, ok := nodeByName(up, r.PrevNode); ok {
+			if prev, ok := ix.node(r.PrevNode); ok {
 				place(r, prev)
 				continue
 			}

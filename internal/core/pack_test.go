@@ -159,6 +159,110 @@ func TestHeuristicStrings(t *testing.T) {
 	}
 }
 
+// A deadline-less run starting past the first production day (Start ≥
+// 86400) must keep a positive packing window ("rest of the day it starts
+// in"), not a negative one that fails every fit and silently falls back
+// to the least-loaded node.
+func TestSlackWindowLateStartFFD(t *testing.T) {
+	// big lands on a; the late run's window is 86400-mod(90000,86400) =
+	// 82800, so a has slack 2·82800-150000-10000 = 5600 ≥ 0 and first-fit
+	// keeps it on a. The negative-window bug sent it to least-loaded b.
+	nodes := plant(2)
+	runs := []Run{
+		{Name: "big", Work: 150000, Deadline: 86400},
+		{Name: "late", Work: 10000, Start: 90000},
+	}
+	assign, err := Pack(nodes, runs, FirstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["big"] != "a" || assign["late"] != "a" {
+		t.Fatalf("assign = %v, want both on a", assign)
+	}
+}
+
+func TestSlackWindowLateStartBFD(t *testing.T) {
+	// Same plant: a's slack 5600 beats b's 2·82800-10000 = 155600 for the
+	// tightest fit; the bug's least-loaded fallback picked b.
+	nodes := plant(2)
+	runs := []Run{
+		{Name: "big", Work: 150000, Deadline: 86400},
+		{Name: "late", Work: 10000, Start: 90000},
+	}
+	assign, err := Pack(nodes, runs, BestFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["late"] != "a" {
+		t.Fatalf("assign = %v, want late co-located on a (tightest fit)", assign)
+	}
+}
+
+func TestSlackWindowLateStartWFD(t *testing.T) {
+	// Unequal capacities make worst-fit and least-loaded disagree: r1→a,
+	// r2→b, then the late run sees slack 3·82800-130000 = 118400 on a vs
+	// 2·82800-70000 = 95600 on b → worst fit picks a. The bug's fallback
+	// compared normalized loads (a: 40000, b: 30000) and picked b.
+	nodes := []NodeInfo{
+		{Name: "a", CPUs: 3, Speed: 1},
+		{Name: "b", CPUs: 2, Speed: 1},
+	}
+	runs := []Run{
+		{Name: "r1", Work: 120000, Deadline: 86400},
+		{Name: "r2", Work: 60000, Deadline: 86400},
+		{Name: "late", Work: 10000, Start: 90000},
+	}
+	assign, err := Pack(nodes, runs, WorstFitDecreasing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if assign["r1"] != "a" || assign["r2"] != "b" {
+		t.Fatalf("setup assign = %v, want r1→a r2→b", assign)
+	}
+	if assign["late"] != "a" {
+		t.Fatalf("assign = %v, want late on a (most slack)", assign)
+	}
+}
+
+func TestLoadIndex(t *testing.T) {
+	nodes := []NodeInfo{
+		{Name: "c", CPUs: 2, Speed: 1},
+		{Name: "a", CPUs: 2, Speed: 1},
+		{Name: "dead", CPUs: 8, Speed: 1, Down: true},
+		{Name: "b", CPUs: 4, Speed: 1},
+	}
+	ix := newLoadIndex(nodes)
+	if _, ok := ix.node("dead"); ok {
+		t.Fatal("down node indexed")
+	}
+	if n, ok := ix.least(); !ok || n.Name != "a" {
+		t.Fatalf("least of zero loads = %v, want a (name tiebreak)", n.Name)
+	}
+	ix.add("dead", 100) // no-op
+	ix.add("a", 100)    // a: 50/cpu, b: 0, c: 0
+	if n, _ := ix.least(); n.Name != "b" {
+		t.Fatalf("least = %v, want b", n.Name)
+	}
+	ix.add("b", 400) // a: 50, b: 100, c: 0
+	if n, _ := ix.least(); n.Name != "c" {
+		t.Fatalf("least = %v, want c", n.Name)
+	}
+	ix.add("c", 200) // a: 50, b: 100, c: 100 → tie b/c breaks by name
+	if n, _ := ix.least(); n.Name != "a" {
+		t.Fatalf("least = %v, want a", n.Name)
+	}
+	if ix.load("b") != 400 || ix.load("dead") != 0 || ix.load("nope") != 0 {
+		t.Fatalf("loads: b=%v dead=%v", ix.load("b"), ix.load("dead"))
+	}
+	if n, ok := ix.node("c"); !ok || n.CPUs != 2 {
+		t.Fatal("node lookup failed")
+	}
+	empty := newLoadIndex([]NodeInfo{{Name: "x", CPUs: 1, Speed: 1, Down: true}})
+	if _, ok := empty.least(); ok {
+		t.Fatal("least on empty index succeeded")
+	}
+}
+
 // Property: every heuristic assigns every run to an up node.
 func TestPropertyPackTotalAndValid(t *testing.T) {
 	f := func(worksRaw []uint16, hRaw uint8, downRaw uint8) bool {

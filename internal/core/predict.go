@@ -2,7 +2,9 @@ package core
 
 import (
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Prediction holds expected completion times for every assigned run, in
@@ -49,34 +51,105 @@ func (p Prediction) Feasible(plan *Plan) bool { return len(p.Late(plan)) == 0 }
 // runs progresses at s·min(1, c/k). The implementation is an analytic
 // sweep per node — independent of the discrete-event simulator, and
 // cross-validated against it in the tests, mirroring the paper's
-// empirical validation of the sharing assumption.
+// empirical validation of the sharing assumption. Nodes are swept
+// independently, concurrently on large plans; Schedule additionally keeps
+// the per-node sweeps cached so interactive edits re-sweep only the
+// affected nodes (see incremental.go).
 func (p *Plan) Predict() (Prediction, error) {
 	if err := p.Validate(); err != nil {
 		return Prediction{}, err
 	}
+	pred, _, _ := p.sweepAll()
+	return pred, nil
+}
+
+// parallelSweepMinRuns is the assigned-run count below which a full-plan
+// sweep stays serial: the goroutine fan-out only pays for itself once the
+// per-node sweeps dominate scheduling overhead.
+const parallelSweepMinRuns = 128
+
+// sweepAll sweeps every node of an already-validated plan and returns the
+// merged prediction plus the per-node grouping and per-node completion
+// maps that seed Schedule's incremental engine. Up nodes are swept by a
+// bounded worker pool (GOMAXPROCS-capped) when the plan is large enough;
+// the merge order never affects the result because every run completes on
+// exactly one node.
+func (p *Plan) sweepAll() (Prediction, map[string][]Run, map[string]map[string]float64) {
 	pred := Prediction{Completion: make(map[string]float64, len(p.Runs))}
+	byNode := make(map[string][]Run, len(p.Nodes))
+	assigned := 0
 	for _, r := range p.Runs {
-		if _, ok := p.Assign[r.Name]; !ok {
+		node, ok := p.Assign[r.Name]
+		if !ok {
 			pred.Completion[r.Name] = math.Inf(1)
+			continue
 		}
+		byNode[node] = append(byNode[node], r)
+		assigned++
 	}
+	cache := make(map[string]map[string]float64, len(byNode))
+	var up []NodeInfo
 	for _, node := range p.Nodes {
-		runs := p.runsOn(node.Name)
+		runs := byNode[node.Name]
 		if len(runs) == 0 {
 			continue
 		}
 		if node.Down {
-			for _, r := range runs {
-				pred.Completion[r.Name] = math.Inf(1)
-			}
+			cache[node.Name] = sweepNode(node, runs)
 			continue
 		}
-		completions := predictNode(node, runs)
-		for name, t := range completions {
+		up = append(up, node)
+	}
+	results := make([]map[string]float64, len(up))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(up) {
+		workers = len(up)
+	}
+	if workers > 1 && assigned >= parallelSweepMinRuns {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					results[i] = predictNode(up[i], byNode[up[i].Name])
+				}
+			}()
+		}
+		for i := range up {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for i := range up {
+			results[i] = predictNode(up[i], byNode[up[i].Name])
+		}
+	}
+	for i, node := range up {
+		cache[node.Name] = results[i]
+	}
+	for _, m := range cache {
+		for name, t := range m {
 			pred.Completion[name] = t
 		}
 	}
-	return pred, nil
+	countPredict("full", len(up))
+	return pred, byNode, cache
+}
+
+// sweepNode is the single-node unit of prediction: +Inf for every run
+// when the node is down, the processor-sharing sweep otherwise.
+func sweepNode(node NodeInfo, runs []Run) map[string]float64 {
+	if node.Down {
+		m := make(map[string]float64, len(runs))
+		for _, r := range runs {
+			m[r.Name] = math.Inf(1)
+		}
+		return m
+	}
+	return predictNode(node, runs)
 }
 
 // predictNode sweeps one node's processor-sharing timeline. Serial runs

@@ -17,13 +17,24 @@ type ScheduleOptions struct {
 	AllowDrop bool
 	// MaxDrops caps how many runs may be dropped (default: all but one).
 	MaxDrops int
+	// fullRepredict forces a from-scratch full-plan sweep after every
+	// drop instead of the incremental re-sweep — the pre-incremental
+	// behaviour, kept as the benchmark baseline and the cross-validation
+	// reference.
+	fullRepredict bool
 }
 
-// Schedule is a packed, predicted plan.
+// Schedule is a packed, predicted plan. Its what-if methods (Move, Delay)
+// and the drop loop update Prediction incrementally and in place: only
+// the nodes an edit touches are re-swept, and the Completion map is
+// patched rather than replaced. Callers that need a frozen snapshot of a
+// prediction across edits must copy the map.
 type Schedule struct {
 	Plan       *Plan
 	Prediction Prediction
 	Dropped    []string // runs dropped to restore feasibility
+
+	pred *predictor // incremental prediction engine (nil until first sweep)
 }
 
 // Late returns the runs still predicted to miss their deadlines.
@@ -34,7 +45,10 @@ func (s *Schedule) Feasible() bool { return s.Prediction.Feasible(s.Plan) }
 
 // BuildSchedule packs runs onto nodes, predicts completion times, and —
 // when allowed — drops the lowest-priority runs until the remainder is
-// feasible.
+// feasible. The input slices are cloned: the plan owns its runs and
+// nodes, so the drop loop's in-place shifting and later Delay edits never
+// corrupt the caller's data. The plan is validated once, by Pack; every
+// later edit re-sweeps only the affected nodes.
 func BuildSchedule(nodes []NodeInfo, runs []Run, opts ScheduleOptions) (*Schedule, error) {
 	var span *telemetry.Span
 	if t := plannerTelemetry(); t != nil {
@@ -44,15 +58,15 @@ func BuildSchedule(nodes []NodeInfo, runs []Run, opts ScheduleOptions) (*Schedul
 		span = t.Trace().Begin("planner", "schedule:"+opts.Heuristic.String(), "planner", nil)
 	}
 	defer span.EndSpan()
+	nodes = append([]NodeInfo(nil), nodes...)
+	runs = append([]Run(nil), runs...)
 	assign, err := Pack(nodes, runs, opts.Heuristic)
 	if err != nil {
 		return nil, err
 	}
 	plan := &Plan{Nodes: nodes, Runs: runs, Assign: assign}
 	s := &Schedule{Plan: plan}
-	if err := s.repredict(); err != nil {
-		return nil, err
-	}
+	s.resyncValidated() // Pack already validated the plan
 	if !opts.AllowDrop {
 		return s, nil
 	}
@@ -60,23 +74,47 @@ func BuildSchedule(nodes []NodeInfo, runs []Run, opts ScheduleOptions) (*Schedul
 	if maxDrops <= 0 {
 		maxDrops = len(runs) - 1
 	}
-	for len(s.Dropped) < maxDrops && !s.Feasible() {
+	for len(s.Dropped) < maxDrops {
 		victim, ok := s.dropCandidate()
 		if !ok {
 			break
 		}
 		s.drop(victim)
 		span.SetArg("dropped", strconv.Itoa(len(s.Dropped)))
-		if err := s.repredict(); err != nil {
-			return nil, err
+		if opts.fullRepredict {
+			if err := s.repredict(); err != nil {
+				return nil, err
+			}
+		} else {
+			s.flushDirty()
 		}
 	}
 	return s, nil
 }
 
 // dropCandidate picks the lowest-priority run on any node with a late run
-// (smallest priority, then largest work, then name).
+// (smallest priority, then largest work, then name), or ok=false when no
+// run is late. With the incremental engine the per-node late counts
+// restrict the scan to the hot nodes' runs.
 func (s *Schedule) dropCandidate() (string, bool) {
+	if pr := s.pred; pr != nil {
+		var victim *Run
+		for n, late := range pr.late {
+			if late == 0 {
+				continue
+			}
+			runs := pr.byNode[n]
+			for i := range runs {
+				if victim == nil || betterVictim(&runs[i], victim) {
+					victim = &runs[i]
+				}
+			}
+		}
+		if victim == nil {
+			return "", false
+		}
+		return victim.Name, true
+	}
 	late := s.Late()
 	if len(late) == 0 {
 		return "", false
@@ -91,10 +129,7 @@ func (s *Schedule) dropCandidate() (string, bool) {
 		if !hotNodes[s.Plan.Assign[r.Name]] {
 			continue
 		}
-		if victim == nil ||
-			r.Priority < victim.Priority ||
-			(r.Priority == victim.Priority && r.Work > victim.Work) ||
-			(r.Priority == victim.Priority && r.Work == victim.Work && r.Name < victim.Name) {
+		if victim == nil || betterVictim(r, victim) {
 			victim = r
 		}
 	}
@@ -104,8 +139,23 @@ func (s *Schedule) dropCandidate() (string, bool) {
 	return victim.Name, true
 }
 
-// drop removes a run from the plan.
+// betterVictim reports whether r should be dropped before the current
+// victim: smallest priority, then largest work, then name — a total
+// order, so the selection is independent of scan order.
+func betterVictim(r, victim *Run) bool {
+	if r.Priority != victim.Priority {
+		return r.Priority < victim.Priority
+	}
+	if r.Work != victim.Work {
+		return r.Work > victim.Work
+	}
+	return r.Name < victim.Name
+}
+
+// drop removes a run from the plan and marks its node dirty; the caller
+// flushes (or fully repredicts) afterwards.
 func (s *Schedule) drop(name string) {
+	node, assigned := s.Plan.Assign[name]
 	for i, r := range s.Plan.Runs {
 		if r.Name == name {
 			s.Plan.Runs = append(s.Plan.Runs[:i], s.Plan.Runs[i+1:]...)
@@ -115,40 +165,86 @@ func (s *Schedule) drop(name string) {
 	delete(s.Plan.Assign, name)
 	s.Dropped = append(s.Dropped, name)
 	sort.Strings(s.Dropped)
+	if s.pred == nil {
+		return
+	}
+	if assigned {
+		s.pred.removeRun(node, name)
+		s.markDirty(node)
+	} else {
+		delete(s.Prediction.Completion, name)
+	}
 }
 
+// repredict resynchronises the engine with a validated full sweep — the
+// escape hatch for code that edits s.Plan directly (PlanBackfill).
 func (s *Schedule) repredict() error {
-	pred, err := s.Plan.Predict()
-	if err != nil {
-		return err
-	}
-	s.Prediction = pred
-	return nil
+	return s.resync()
 }
 
 // Move reassigns one run and repredicts — the what-if interaction of the
 // ForeMan interface ("the tool will automatically recompute the expected
-// completion times of all affected workflows").
+// completion times of all affected workflows"). Only the source and
+// destination nodes are re-swept.
 func (s *Schedule) Move(run, node string) error {
+	if s.pred == nil {
+		if err := s.Plan.Move(run, node); err != nil {
+			return err
+		}
+		return s.repredict()
+	}
+	old, hadOld := s.Plan.Assign[run]
 	if err := s.Plan.Move(run, node); err != nil {
 		return err
 	}
-	return s.repredict()
+	if hadOld && old == node {
+		return nil // no-op move: nothing changed
+	}
+	r, _ := s.Plan.Run(run)
+	if hadOld {
+		s.pred.removeRun(old, run)
+		s.markDirty(old)
+	}
+	s.pred.byNode[node] = append(s.pred.byNode[node], r)
+	s.markDirty(node)
+	s.flushDirty()
+	return nil
 }
 
 // Delay shifts a run's start time and repredicts — the response to late
 // input data (§4.1: forecasts "may be delayed ... if data arrival is
 // delayed"), or the other half of the ForeMan interaction ("their
-// starting times may be adjusted").
+// starting times may be adjusted"). Only the run's node is re-swept.
 func (s *Schedule) Delay(run string, newStart float64) error {
 	if newStart < 0 {
 		return fmt.Errorf("core: Delay(%q) to negative start %v", run, newStart)
 	}
 	for i := range s.Plan.Runs {
-		if s.Plan.Runs[i].Name == run {
-			s.Plan.Runs[i].Start = newStart
+		if s.Plan.Runs[i].Name != run {
+			continue
+		}
+		// Mirror Validate's deadline-after-start rule up front: the
+		// incremental path skips whole-plan revalidation, and a full
+		// repredict would otherwise reject the plan after mutating it.
+		if d := s.Plan.Runs[i].Deadline; d > 0 && newStart > d {
+			return fmt.Errorf("core: Delay(%q) to start %v past deadline %v", run, newStart, d)
+		}
+		s.Plan.Runs[i].Start = newStart
+		if s.pred == nil {
 			return s.repredict()
 		}
+		if node, ok := s.Plan.Assign[run]; ok {
+			nodeRuns := s.pred.byNode[node]
+			for j := range nodeRuns {
+				if nodeRuns[j].Name == run {
+					nodeRuns[j].Start = newStart
+					break
+				}
+			}
+			s.markDirty(node)
+			s.flushDirty()
+		}
+		return nil
 	}
 	return fmt.Errorf("core: unknown run %q", run)
 }
@@ -183,7 +279,9 @@ func (p ReschedulePolicy) String() string {
 
 // RescheduleAfterFailure marks a node down and reassigns its runs. With
 // MinimalMove, displaced runs go to the least-loaded surviving nodes; with
-// FullReshuffle everything is re-packed with the given heuristic.
+// FullReshuffle everything is re-packed with the given heuristic. The new
+// schedule inherits the old one's per-node sweeps and re-sweeps only the
+// nodes whose run set changed (plus the failed node).
 func RescheduleAfterFailure(s *Schedule, failed string, pol ReschedulePolicy, h Heuristic) (*Schedule, error) {
 	plan := s.Plan.Clone()
 	found := false
@@ -205,7 +303,8 @@ func RescheduleAfterFailure(s *Schedule, failed string, pol ReschedulePolicy, h 
 		}
 		plan.Assign = assign
 	case MinimalMove:
-		// Re-pack only the displaced runs against residual loads.
+		// Re-pack only the displaced runs against residual loads, tracked
+		// by the same indexed structure Pack uses.
 		var displaced []Run
 		for _, r := range plan.Runs {
 			if plan.Assign[r.Name] == failed {
@@ -219,49 +318,72 @@ func RescheduleAfterFailure(s *Schedule, failed string, pol ReschedulePolicy, h 
 			}
 			return displaced[i].Name < displaced[j].Name
 		})
-		load := make(map[string]float64)
+		ix := newLoadIndex(plan.Nodes)
 		for _, r := range plan.Runs {
 			if node, ok := plan.Assign[r.Name]; ok {
-				load[node] += r.Work
+				ix.add(node, r.Work) // loads on down nodes are ignored
 			}
 		}
 		for _, r := range displaced {
-			best := ""
-			bestLoad := 0.0
-			for _, n := range plan.Nodes {
-				if n.Down {
-					continue
-				}
-				l := load[n.Name] / n.Capacity()
-				if best == "" || l < bestLoad {
-					best, bestLoad = n.Name, l
-				}
-			}
-			if best == "" {
+			best, ok := ix.least()
+			if !ok {
 				return nil, fmt.Errorf("core: no surviving node for run %q", r.Name)
 			}
-			plan.Assign[r.Name] = best
-			load[best] += r.Work
+			plan.Assign[r.Name] = best.Name
+			ix.add(best.Name, r.Work)
 		}
 	default:
 		return nil, fmt.Errorf("core: unknown reschedule policy %v", pol)
 	}
 
 	out := &Schedule{Plan: plan, Dropped: append([]string(nil), s.Dropped...)}
-	if err := out.repredict(); err != nil {
-		return nil, err
+	if s.pred == nil {
+		if err := out.resync(); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
+	changed := map[string]bool{failed: true}
+	for _, r := range plan.Runs {
+		before, hadBefore := s.Plan.Assign[r.Name]
+		after, hasAfter := plan.Assign[r.Name]
+		if before == after && hadBefore == hasAfter {
+			continue
+		}
+		if hadBefore {
+			changed[before] = true
+		}
+		if hasAfter {
+			changed[after] = true
+		}
+	}
+	out.adopt(s)
+	for n := range changed {
+		out.markDirty(n)
+	}
+	out.flushDirty()
 	return out, nil
 }
 
 // MovedRuns returns the names of runs whose assignment differs between two
-// schedules, sorted — the disruption metric for comparing policies.
+// schedules, sorted — the disruption metric for comparing policies. Runs
+// that became newly assigned or newly unassigned between the schedules
+// (moves from or to the empty node) count as moved.
 func MovedRuns(before, after *Schedule) []string {
-	var moved []string
+	movedSet := make(map[string]bool)
 	for run, node := range after.Plan.Assign {
-		if prev, ok := before.Plan.Assign[run]; ok && prev != node {
-			moved = append(moved, run)
+		if prev, ok := before.Plan.Assign[run]; !ok || prev != node {
+			movedSet[run] = true
 		}
+	}
+	for run := range before.Plan.Assign {
+		if _, ok := after.Plan.Assign[run]; !ok {
+			movedSet[run] = true
+		}
+	}
+	moved := make([]string, 0, len(movedSet))
+	for run := range movedSet {
+		moved = append(moved, run)
 	}
 	sort.Strings(moved)
 	return moved

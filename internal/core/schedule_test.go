@@ -212,6 +212,14 @@ func TestMinimalMoveDisruptsLessThanReshuffle(t *testing.T) {
 	if nm != 2 {
 		t.Fatalf("minimal-move moved %d runs, want exactly the 2 displaced", nm)
 	}
+	// The disruption metric counts assignment churn in full: a run whose
+	// assignment disappears between plans registers as a move to the
+	// empty node instead of vanishing from the count.
+	trimmed := &Schedule{Plan: minimal.Plan.Clone()}
+	delete(trimmed.Plan.Assign, "r3")
+	if got := MovedRuns(minimal, trimmed); len(got) != 1 || got[0] != "r3" {
+		t.Fatalf("unassigning r3 registered moves %v, want [r3]", got)
+	}
 }
 
 func TestReschedulePolicyStrings(t *testing.T) {

@@ -22,3 +22,19 @@ func SetTelemetry(t *telemetry.Telemetry) {
 func plannerTelemetry() *telemetry.Telemetry {
 	return telSink.Load()
 }
+
+// countPredict records one prediction pass. mode is "full" (every node
+// swept from scratch) or "incremental" (only dirty nodes re-swept); the
+// two counters together show the observatory how much sweep work the
+// incremental engine avoids.
+func countPredict(mode string, nodesSwept int) {
+	t := plannerTelemetry()
+	if t == nil {
+		return
+	}
+	reg := t.Registry()
+	reg.Describe("core_predict_invocations_total", "Completion-time predictions, by mode (full sweep vs incremental re-sweep).")
+	reg.Describe("core_predict_nodes_swept_total", "Per-node processor-sharing sweeps executed, by prediction mode.")
+	reg.Counter("core_predict_invocations_total", telemetry.Labels{"mode": mode}).Inc()
+	reg.Counter("core_predict_nodes_swept_total", telemetry.Labels{"mode": mode}).Add(float64(nodesSwept))
+}
