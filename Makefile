@@ -28,15 +28,18 @@ check: test vet race
 # Experiment benchmarks plus the machine-readable reports uploaded as CI
 # artifacts: the harvest pipeline (BENCH_harvest.json), the usage
 # sampler's overhead budget (BENCH_usage.json, < 5% slowdown on the
-# standard fig8 campaign), and the planner's incremental-prediction
+# standard fig8 campaign), the planner's incremental-prediction
 # speedup (BENCH_planner.json, ≥ 5× over full repredict on the
 # 200-node/2000-run drop loop, with an incremental-vs-full equivalence
-# gate).
+# gate), and the forensics replay overhead (BENCH_forensics.json, < 5%
+# on a 200-node / 2000-run campaign replayed with and without blame
+# analysis, ABBA-paired medians).
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/core ./internal/harvest ./internal/usage
+	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/core ./internal/forensics ./internal/harvest ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_harvest.json $(GO) test -run TestEmitBenchReport -v ./internal/harvest
 	BENCH_OUT=$(CURDIR)/BENCH_usage.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_planner.json $(GO) test -count=1 -run TestEmitPlannerBenchReport -v ./internal/core
+	BENCH_OUT=$(CURDIR)/BENCH_forensics.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/forensics
 
 clean:
 	$(GO) clean ./...

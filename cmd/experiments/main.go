@@ -5,16 +5,19 @@
 // Usage:
 //
 //	experiments [-id all|fig6|fig7|fig8|fig9|t1|t2|t3|t4|t5] [-csv dir] [-quiet]
+//	            [-metrics-out file] [-trace-out file]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -22,7 +25,19 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files into")
 	quiet := flag.Bool("quiet", false, "print only the comparison tables, no charts")
 	markdown := flag.String("markdown", "", "also write a paper-vs-measured markdown summary to this file")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus metrics from the experiment runs to this file")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace of the experiment runs to this file")
 	flag.Parse()
+
+	// Same collection switch as cmd/factory and cmd/foreman: asking for
+	// an export turns telemetry on, so paper-figure runs leave traces the
+	// forensics layer can consume.
+	var tel *telemetry.Telemetry
+	if *metricsOut != "" || *traceOut != "" {
+		tel = telemetry.New()
+		experiments.SetTelemetry(tel)
+		defer experiments.SetTelemetry(nil)
+	}
 
 	var reports []experiments.Report
 	switch {
@@ -70,4 +85,43 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *markdown)
 	}
+
+	flushTelemetry(tel, *metricsOut, *traceOut)
+}
+
+// flushTelemetry writes the telemetry exports requested on the command
+// line (no-op when telemetry is disabled).
+func flushTelemetry(tel *telemetry.Telemetry, metricsOut, traceOut string) {
+	if tel == nil {
+		return
+	}
+	tel.Trace().EndOpen()
+	if metricsOut != "" {
+		if err := writeTo(metricsOut, tel.Registry().WritePrometheus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics written to %s\n", metricsOut)
+	}
+	if traceOut != "" {
+		if err := writeTo(traceOut, tel.Trace().WriteChromeTrace); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d spans; open in chrome://tracing)\n",
+			traceOut, tel.Trace().Len())
+	}
+}
+
+// writeTo writes one exporter's output to a file.
+func writeTo(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -42,6 +42,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/factory"
+	"repro/internal/forensics"
 	"repro/internal/harvest"
 	"repro/internal/logs"
 	"repro/internal/monitor"
@@ -229,6 +230,18 @@ func main() {
 		}
 		if samp != nil {
 			srv.AttachUtilization(func() any { return samp.Status() })
+			// Forensics on demand: each request analyzes the trace so
+			// far against the control room's plan, so the dashboard's
+			// blame panel works during a replay (in-flight runs show
+			// their lateness as of now) and stays current after the
+			// campaign drains.
+			srv.AttachForensics(func() any {
+				rep, err := forensicsReport(c, mon, samp, tel)
+				if err != nil {
+					return map[string]string{"error": err.Error()}
+				}
+				return rep
+			})
 		}
 		if *pprofOn {
 			srv.EnablePprof()
@@ -414,6 +427,36 @@ func main() {
 }
 
 // writeTo writes one exporter's output to a file.
+// forensicsReport analyzes the campaign's trace against the plan the
+// control room watched — the launch rule for the planned start, the
+// launch-time completion prediction for the planned end, the SLO
+// deadline — splitting each run's lateness into its blame components
+// for the dashboard's blame panel. All inputs are snapshots or locked
+// accessors, so it is safe to call from the HTTP goroutine while the
+// simulation runs.
+func forensicsReport(c *factory.Campaign, mon *monitor.Monitor, samp *usage.Sampler, tel *telemetry.Telemetry) (*forensics.Report, error) {
+	var plan []forensics.PlanEntry
+	for _, r := range mon.Status().Runs {
+		start := r.Start
+		if s := c.Spec(r.Forecast); s != nil {
+			start = float64(r.Day-c.StartDay())*factory.SecondsPerDay + s.StartOffset
+		}
+		end := r.LaunchETA
+		if end == 0 {
+			end = r.ETA
+		}
+		plan = append(plan, forensics.PlanEntry{
+			Forecast: r.Forecast, Day: r.Day, Node: r.Node,
+			Start: start, End: end, Deadline: r.Deadline,
+		})
+	}
+	return forensics.Analyze(forensics.Input{
+		Spans:    tel.Trace().Spans(),
+		Plan:     plan,
+		Timeline: samp,
+	})
+}
+
 func writeTo(path string, write func(w io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {

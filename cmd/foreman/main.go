@@ -58,6 +58,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/factory"
 	"repro/internal/forecast"
+	"repro/internal/forensics"
 	"repro/internal/harvest"
 	"repro/internal/logs"
 	"repro/internal/monitor"
@@ -122,6 +123,7 @@ func main() {
 	harvestDir := flag.String("harvest", "", "harvest run logs incrementally from this real directory tree instead of bootstrapping a simulated campaign")
 	provenanceFlag := flag.String("provenance", "", "report every forecast using this code version from the harvested database, then exit")
 	utilizationFlag := flag.Bool("utilization", false, "replay today's plan on a simulated plant, print the utilization report, heatmap, contention windows, and plan-vs-actual drift, and persist node_usage + drift tables")
+	blameFlag := flag.String("blame", "", "print the lateness-blame forensics report for this forecast (\"all\" for every forecast) from the bootstrap campaign")
 	flag.Parse()
 
 	h, ok := heuristicByName(*heuristicFlag)
@@ -140,7 +142,7 @@ func main() {
 	// "spans" table, queryable whether or not an export file was asked
 	// for.
 	var tel *telemetry.Telemetry
-	if *metricsOut != "" || *traceOut != "" || *sqlFlag != "" || *sloFlag {
+	if *metricsOut != "" || *traceOut != "" || *sqlFlag != "" || *sloFlag || *blameFlag != "" {
 		tel = telemetry.New()
 		core.SetTelemetry(tel)
 		defer core.SetTelemetry(nil)
@@ -151,6 +153,9 @@ func main() {
 	var mon *monitor.Monitor
 
 	if *harvestDir != "" {
+		if *blameFlag != "" {
+			fmt.Fprintln(os.Stderr, "-blame needs the bootstrap campaign's trace and timeline; it is ignored with -harvest")
+		}
 		records = harvestOSTree(db, *harvestDir)
 	} else {
 		assignments := make([]factory.Assignment, len(specs))
@@ -170,12 +175,29 @@ func main() {
 		// The control room watches the bootstrap campaign: its alert history
 		// becomes the "alerts" table and its SLO report backs -slo.
 		if tel != nil {
-			mon = monitor.New(monitor.DefaultOptions(), tel.Registry())
+			opts := monitor.DefaultOptions()
+			// A day whose dominant lateness cause differs from the
+			// previous day's is an assignable-cause signal; -blame feeds
+			// the per-day decomposition back into this rule.
+			opts.Blame = monitor.BlameShiftRule{MinLateness: 600, Severity: monitor.SevWarning}
+			mon = monitor.New(opts, tel.Registry())
 			mon.Attach(campaign)
+		}
+		var samp *usage.Sampler
+		if *blameFlag != "" {
+			// -blame needs the per-node share and downtime timeline to
+			// split lateness into contention vs failure, so sample the
+			// bootstrap cluster while the campaign runs.
+			campaign.Prepare()
+			samp = usage.NewSampler(campaign.Cluster(), usage.Options{Interval: 900, Telemetry: tel})
+			samp.Start(campaign.Horizon())
 		}
 		campaign.Run()
 		if mon != nil {
 			mon.Finalize(campaign.Engine().Now())
+		}
+		if samp != nil {
+			samp.Finalize(campaign.Engine().Now())
 		}
 		// Harvest the campaign's run tree into the database (watermarked
 		// and quarantining, like the continuous pipeline would).
@@ -207,6 +229,11 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+		if *blameFlag != "" {
+			// Before LoadAlerts, so any blame_shift alert the forensics
+			// raise lands in the alerts table too.
+			blameForensics(db, campaign, mon, samp, tel, specs, *blameFlag)
 		}
 		if mon != nil {
 			// Control-room alert history joins against runs via -sql.
@@ -481,6 +508,89 @@ func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *stat
 	fmt.Printf("persisted: node_usage %d rows, drift %d rows (schema v%d; query with -sql)\n",
 		db.Table(usage.NodeUsageTableName).Len(), db.Table(usage.DriftTableName).Len(),
 		statsdb.SchemaVersion(db))
+}
+
+// blameForensics reconstructs the bootstrap campaign's causal chains and
+// prints the lateness forensics: the per-run blame decomposition, the
+// per-day aggregate with its stacked blame-mix bar, and the worst run's
+// critical path as a Gantt. The analysis is persisted into the v4 tables
+// (lateness_blame, critical_paths) first and the report re-read from
+// them, so this output and the monitor's /api/forensics endpoint render
+// the same rows. Each day's dominant cause also feeds the monitor's
+// blame-shift rule, whose alerts join the alert history.
+func blameForensics(db *statsdb.DB, campaign *factory.Campaign, mon *monitor.Monitor,
+	samp *usage.Sampler, tel *telemetry.Telemetry, specs []*forecast.Spec, forecastName string) {
+	if forecastName == "all" {
+		forecastName = ""
+	}
+	specOf := make(map[string]*forecast.Spec, len(specs))
+	for _, s := range specs {
+		specOf[s.Name] = s
+	}
+	// The plan blame is measured against is the one the control room
+	// watched: the launch rule (day start + spec offset) for the planned
+	// start, the launch-time completion prediction for the planned end,
+	// and the SLO deadline. Runs the monitor never saw launch (dropped)
+	// get a zero-length plan window and are analyzed as unplanned.
+	var plan []forensics.PlanEntry
+	for _, r := range mon.Status().Runs {
+		start := r.Start
+		if s := specOf[r.Forecast]; s != nil {
+			start = float64(r.Day-campaign.StartDay())*factory.SecondsPerDay + s.StartOffset
+		}
+		end := r.LaunchETA
+		if end == 0 {
+			end = r.ETA
+		}
+		plan = append(plan, forensics.PlanEntry{
+			Forecast: r.Forecast, Day: r.Day, Node: r.Node,
+			Start: start, End: end, Deadline: r.Deadline,
+		})
+	}
+	rep, err := forensics.Analyze(forensics.Input{
+		Spans:    tel.Trace().Spans(),
+		Plan:     plan,
+		Timeline: samp,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := forensics.LoadReport(db, rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err = forensics.ReadReport(db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("\nlateness blame%s (schema v%d; tables lateness_blame, critical_paths):\n",
+		blameForClause(forecastName), statsdb.SchemaVersion(db))
+	fmt.Print(forensics.BlameTable(rep, forecastName))
+	fmt.Println("\nper-day blame mix:")
+	fmt.Print(forensics.DayTable(rep, 40))
+	if worst := forensics.WorstRun(rep, forecastName); worst != nil {
+		fmt.Println()
+		fmt.Print(forensics.PathGantt(worst))
+	}
+
+	for _, d := range rep.Days {
+		mon.ObserveBlame(d.Day, d.Dominant, d.Lateness)
+	}
+	for _, a := range mon.FiringAlerts() {
+		if a.Rule == "blame_shift" {
+			fmt.Printf("\nALERT %s %s: %s\n", a.Severity, a.Rule, a.Message)
+		}
+	}
+}
+
+func blameForClause(forecastName string) string {
+	if forecastName == "" {
+		return ""
+	}
+	return " for " + forecastName
 }
 
 // osFS adapts a real directory tree to the harvester's FS interface,

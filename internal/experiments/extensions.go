@@ -53,8 +53,8 @@ func ExtensionIDs() []string { return []string{"x1", "x2", "x3", "x4"} }
 // the day-1 salinity data at the server reaches, at its lowest point) and
 // the lead at 7am.
 func IncrementalLead() Report {
-	r1 := dataflow.Run(dataflow.Architecture1, dataflow.Params{})
-	r2 := dataflow.Run(dataflow.Architecture2, dataflow.Params{})
+	r1 := dataflow.Run(dataflow.Architecture1, withTelemetry(dataflow.Params{}))
+	r2 := dataflow.Run(dataflow.Architecture2, withTelemetry(dataflow.Params{}))
 	const series = "1_salt.63"
 	pick := func(r dataflow.Result) dataflow.Series {
 		for _, s := range r.Series {
@@ -137,7 +137,7 @@ func DatabaseFreshness() Report {
 		}
 	}
 	var err error
-	campLive, err = factory.New(cfgLive)
+	campLive, err = factory.New(telemetered(cfgLive))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: x1: %v", err))
 	}
@@ -146,7 +146,7 @@ func DatabaseFreshness() Report {
 	// Periodic crawling at interval T: a run completing at t becomes
 	// visible at the first crawl after t.
 	crawlStaleness := func(interval float64) float64 {
-		camp, err := factory.New(mkConfig())
+		camp, err := factory.New(telemetered(mkConfig()))
 		if err != nil {
 			panic(fmt.Sprintf("experiments: x1: %v", err))
 		}
@@ -204,12 +204,12 @@ func DatabaseFreshness() Report {
 // paper discusses: today's load (little benefit, multiplied transfer
 // cost) and a grown product load (clear win).
 func PartitionedProducts() Report {
-	a2 := dataflow.Run(dataflow.Architecture2, dataflow.Params{})
-	a3 := dataflow.RunPartitioned(dataflow.Params{}, 4)
+	a2 := dataflow.Run(dataflow.Architecture2, withTelemetry(dataflow.Params{}))
+	a3 := dataflow.RunPartitioned(withTelemetry(dataflow.Params{}), 4)
 
 	heavy := forecast.ReplicateProducts(forecast.DataflowForecast(), 4)
-	heavyOne := dataflow.Run(dataflow.Architecture2, dataflow.Params{Spec: heavy, Workers: 4})
-	heavyFour := dataflow.RunPartitioned(dataflow.Params{Spec: heavy, Workers: 4}, 4)
+	heavyOne := dataflow.Run(dataflow.Architecture2, withTelemetry(dataflow.Params{Spec: heavy, Workers: 4}))
+	heavyFour := dataflow.RunPartitioned(withTelemetry(dataflow.Params{Spec: heavy, Workers: 4}), 4)
 
 	return Report{
 		ID:     "x2",

@@ -20,7 +20,7 @@ func archSeries(res dataflow.Result) []plot.Series {
 // Fig6 reproduces Figure 6: time until data appears at the server with
 // Architecture 1 (model and data products generated at the compute node).
 func Fig6() Report {
-	res := dataflow.Run(dataflow.Architecture1, dataflow.Params{})
+	res := dataflow.Run(dataflow.Architecture1, withTelemetry(dataflow.Params{}))
 	return Report{
 		ID:     "fig6",
 		Title:  "Time until all data appears at server, Architecture 1",
@@ -39,7 +39,7 @@ func Fig6() Report {
 // Fig7 reproduces Figure 7: the same series with Architecture 2 (data
 // products generated at the server).
 func Fig7() Report {
-	res := dataflow.Run(dataflow.Architecture2, dataflow.Params{})
+	res := dataflow.Run(dataflow.Architecture2, withTelemetry(dataflow.Params{}))
 	return Report{
 		ID:     "fig7",
 		Title:  "Time until all data appears at server, Architecture 2",
@@ -58,7 +58,7 @@ func Fig7() Report {
 // Fig8 reproduces Figure 8: effects of timestep changes and the addition
 // of new runs on the Tillamook forecast (days 1–76 of 2005).
 func Fig8() Report {
-	c, err := factory.New(factory.Figure8Scenario())
+	c, err := factory.New(telemetered(factory.Figure8Scenario()))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: fig8: %v", err))
 	}
@@ -108,7 +108,7 @@ func Fig8() Report {
 // Fig9 reproduces Figure 9: effects of code and mesh changes on the dev
 // forecast (days 140–270 of 2005).
 func Fig9() Report {
-	c, err := factory.New(factory.Figure9Scenario())
+	c, err := factory.New(telemetered(factory.Figure9Scenario()))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: fig9: %v", err))
 	}

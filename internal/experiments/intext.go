@@ -21,8 +21,8 @@ import (
 // while running the simulation model and data product generation at
 // separate nodes takes about 11,000 seconds (around 3 hours)."
 func EndToEnd() Report {
-	r1 := dataflow.Run(dataflow.Architecture1, dataflow.Params{})
-	r2 := dataflow.Run(dataflow.Architecture2, dataflow.Params{})
+	r1 := dataflow.Run(dataflow.Architecture1, withTelemetry(dataflow.Params{}))
+	r2 := dataflow.Run(dataflow.Architecture2, withTelemetry(dataflow.Params{}))
 	return Report{
 		ID:     "t1",
 		Title:  "End-to-end time by architecture",
@@ -43,12 +43,12 @@ func EndToEnd() Report {
 // four sets of tasks concurrently increases the completion time by only a
 // small amount (about 3000 seconds)."
 func ConcurrentProducts() Report {
-	base := dataflow.Run(dataflow.Architecture2, dataflow.Params{})
+	base := dataflow.Run(dataflow.Architecture2, withTelemetry(dataflow.Params{}))
 	spec4 := forecast.ReplicateProducts(forecast.DataflowForecast(), 4)
-	multi := dataflow.Run(dataflow.Architecture2, dataflow.Params{
+	multi := dataflow.Run(dataflow.Architecture2, withTelemetry(dataflow.Params{
 		Spec:    spec4,
 		Workers: 4,
-	})
+	}))
 	return Report{
 		ID:     "t2",
 		Title:  "Concurrent product sets at the server (Architecture 2)",
@@ -73,7 +73,7 @@ func BandwidthShare() Report {
 	products := spec.ProductBytes()
 	outputs := spec.OutputBytes()
 	share := products / (products + outputs)
-	r2 := dataflow.Run(dataflow.Architecture2, dataflow.Params{})
+	r2 := dataflow.Run(dataflow.Architecture2, withTelemetry(dataflow.Params{}))
 	return Report{
 		ID:     "t3",
 		Title:  "Data products as a share of run data volume",
@@ -169,7 +169,7 @@ func EstimatorValidation() Report {
 			factory.SetTimesteps{Day: 21, Forecast: till.Name, Timesteps: 11520},
 		},
 	}
-	c, err := factory.New(cfg)
+	c, err := factory.New(telemetered(cfg))
 	if err != nil {
 		panic(fmt.Sprintf("experiments: t5: %v", err))
 	}

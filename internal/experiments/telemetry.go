@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"repro/internal/dataflow"
+	"repro/internal/factory"
+	"repro/internal/telemetry"
+)
+
+// telSink is the package-level telemetry sink. Experiments are free
+// functions invoked by id, so — like the planner in package core — there
+// is no object to carry instruments; cmd/experiments installs a sink once
+// at startup and every figure and in-text run it triggers records spans
+// and metrics there. A nil sink (the default) disables collection.
+var telSink atomic.Pointer[telemetry.Telemetry]
+
+// SetTelemetry installs the telemetry sink threaded into every
+// experiment's factory campaigns and dataflow runs, so paper-figure
+// reproductions leave traces the forensics layer can analyze. Pass nil
+// to detach.
+func SetTelemetry(t *telemetry.Telemetry) {
+	telSink.Store(t)
+}
+
+// withTelemetry threads the current sink into dataflow run parameters.
+func withTelemetry(p dataflow.Params) dataflow.Params {
+	p.Telemetry = telSink.Load()
+	return p
+}
+
+// telemetered threads the current sink into a factory campaign config.
+func telemetered(cfg factory.Config) factory.Config {
+	cfg.Telemetry = telSink.Load()
+	return cfg
+}

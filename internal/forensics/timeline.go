@@ -1,0 +1,115 @@
+package forensics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/usage"
+)
+
+// Timeline is a post-hoc view of the utilization observatory's per-node
+// samples: the share and down-time integrals the blame decomposition
+// needs, computable from a live Sampler's Samples() or from node_usage
+// rows read back out of the statistics database — which is what makes a
+// forensics pass replayable long after the campaign's engine is gone.
+// A nil *Timeline reports share 1 and no down time everywhere.
+type Timeline struct {
+	nodes map[string][]usage.Sample
+}
+
+// Both the replayable Timeline and the live Sampler feed Analyze.
+var (
+	_ ShareSource = (*Timeline)(nil)
+	_ ShareSource = (*usage.Sampler)(nil)
+)
+
+// NewTimeline groups samples per node and sorts each node's slice by
+// interval start. A node's samples are assumed non-overlapping (they are
+// timeline buckets), which is what lets the integrals below locate the
+// overlap range by binary search. Input already contiguous per node — the
+// layout Sampler.Samples() and a node-ordered statsdb read both produce —
+// is subsliced in place rather than copied, which keeps a forensics pass
+// over a campaign-scale timeline out of the allocator.
+func NewTimeline(samples []usage.Sample) *Timeline {
+	t := &Timeline{nodes: make(map[string][]usage.Sample)}
+	grouped := true
+	for i := 0; i < len(samples); {
+		j := i + 1
+		for j < len(samples) && samples[j].Node == samples[i].Node {
+			j++
+		}
+		if _, dup := t.nodes[samples[i].Node]; dup {
+			grouped = false
+			break
+		}
+		t.nodes[samples[i].Node] = samples[i:j:j]
+		i = j
+	}
+	if !grouped {
+		// Interleaved nodes: rebuild with per-node copies.
+		t.nodes = make(map[string][]usage.Sample)
+		for _, s := range samples {
+			t.nodes[s.Node] = append(t.nodes[s.Node], s)
+		}
+	}
+	for _, ss := range t.nodes {
+		if !sort.SliceIsSorted(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start }) {
+			sort.Slice(ss, func(i, j int) bool { return ss[i].Start < ss[j].Start })
+		}
+	}
+	return t
+}
+
+// overlapping returns the node's samples that can intersect [start, end]:
+// the suffix whose End exceeds start, truncated where Start reaches end.
+// With disjoint sorted buckets both bounds are binary-searchable, so a
+// forensics pass over thousands of runs stays linear in actual overlap
+// instead of rescanning whole campaign timelines per run.
+func (t *Timeline) overlapping(node string, start, end float64) []usage.Sample {
+	ss := t.nodes[node]
+	lo := sort.Search(len(ss), func(i int) bool { return ss[i].End > start })
+	hi := lo + sort.Search(len(ss)-lo, func(i int) bool { return ss[lo+i].Start >= end })
+	return ss[lo:hi]
+}
+
+// MeanShareOver returns the time-average per-job CPU share on a node
+// across [start, end], integrated from the samples exactly the way the
+// live Sampler computes it (1 when the window holds no running time).
+// Timeline therefore satisfies usage.ShareSource.
+func (t *Timeline) MeanShareOver(node string, start, end float64) float64 {
+	if t == nil || end <= start {
+		return 1
+	}
+	var shareInt, runSecs float64
+	for _, sm := range t.overlapping(node, start, end) {
+		lo, hi := math.Max(sm.Start, start), math.Min(sm.End, end)
+		if hi <= lo || sm.End <= sm.Start {
+			continue
+		}
+		frac := (hi - lo) / (sm.End - sm.Start)
+		run := (sm.End - sm.Start - sm.IdleSecs - sm.DownSecs) * frac
+		shareInt += sm.MeanShare * run
+		runSecs += run
+	}
+	if runSecs <= 0 {
+		return 1
+	}
+	return shareInt / runSecs
+}
+
+// DownSecsOver returns the node's down time overlapping [start, end],
+// pro-rated within partially overlapped sample intervals.
+func (t *Timeline) DownSecsOver(node string, start, end float64) float64 {
+	if t == nil || end <= start {
+		return 0
+	}
+	var down float64
+	for _, sm := range t.overlapping(node, start, end) {
+		lo, hi := math.Max(sm.Start, start), math.Min(sm.End, end)
+		if hi <= lo || sm.End <= sm.Start {
+			continue
+		}
+		down += sm.DownSecs * (hi - lo) / (sm.End - sm.Start)
+	}
+	return down
+}

@@ -100,6 +100,10 @@ type Options struct {
 	// prediction — the plan-vs-actual feedback rule. The zero value
 	// (RelAbove 0) disables it.
 	Drift DriftRule
+	// Blame fires when the dominant lateness component (from a forensics
+	// pass, fed via ObserveBlame) changes between days. The zero value
+	// (MinLateness 0) disables it.
+	Blame BlameShiftRule
 	// Expected lists the forecasts that must produce a run every campaign
 	// day — the data-quality rule for "a run we expected never appeared".
 	// Attach fills it from the campaign roster. Empty disables the check.
@@ -166,6 +170,7 @@ type Monitor struct {
 
 	book  *alertBook
 	rates map[string]*rateState // per-RateRule counter state between ticks
+	blame blameState            // last qualifying day seen by ObserveBlame
 
 	mLate      *telemetry.Counter
 	mPredicted *telemetry.Counter

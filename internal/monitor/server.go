@@ -19,18 +19,20 @@ import (
 //	GET /api/slo          the SLO report as JSON
 //	GET /api/harvest      the harvest pipeline's status (when attached)
 //	GET /api/utilization  the usage sampler's status (when attached)
+//	GET /api/forensics    the lateness-blame report (when attached)
 //	GET /debug/pprof/     Go profiling endpoints (when EnablePprof)
 //
 // Handlers read monitor snapshots under its lock and never touch the
 // simulation engine, so the server can run on wall-clock goroutines
 // while a campaign replays. All handlers are httptest-able via Handler.
 type Server struct {
-	mon       *Monitor
-	reg       *telemetry.Registry
-	harvestFn func() any
-	utilFn    func() any
-	runtime   *telemetry.RuntimeCollector
-	pprofOn   bool
+	mon         *Monitor
+	reg         *telemetry.Registry
+	harvestFn   func() any
+	utilFn      func() any
+	forensicsFn func() any
+	runtime     *telemetry.RuntimeCollector
+	pprofOn     bool
 }
 
 // NewServer builds a Server for a monitor. reg (may be nil) backs
@@ -53,6 +55,13 @@ func (s *Server) AttachHarvest(fn func() any) { s.harvestFn = fn }
 // handling requests.
 func (s *Server) AttachUtilization(fn func() any) { s.utilFn = fn }
 
+// AttachForensics wires a lateness-blame report into the server: fn
+// (typically a closure over forensics.ReadReport on the stats database,
+// so the endpoint serves exactly the persisted rows the CLI report
+// renders) backs GET /api/forensics and the dashboard's blame panel.
+// Call before the server starts handling requests.
+func (s *Server) AttachForensics(fn func() any) { s.forensicsFn = fn }
+
 // EnablePprof mounts net/http/pprof under /debug/pprof/ on the next
 // Handler call — opt-in, because the profiler exposes stacks and heap
 // contents an operator console should not serve by default.
@@ -69,6 +78,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/slo", s.handleSLO)
 	mux.HandleFunc("GET /api/harvest", s.handleHarvest)
 	mux.HandleFunc("GET /api/utilization", s.handleUtilization)
+	mux.HandleFunc("GET /api/forensics", s.handleForensics)
 	if s.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -118,6 +128,14 @@ func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.utilFn())
+}
+
+func (s *Server) handleForensics(w http.ResponseWriter, r *http.Request) {
+	if s.forensicsFn == nil {
+		http.Error(w, "no forensics report attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.forensicsFn())
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -181,6 +199,10 @@ td, th { padding: 2px 10px; border-bottom: 1px solid #333; text-align: left; }
 <h2>harvest</h2>
 <div id="harvest-summary" class="dim"></div>
 <table id="harvest-quarantine"></table>
+</div>
+<div id="blame-panel" style="display:none">
+<h2>lateness blame <span id="blame-legend" class="dim"></span></h2>
+<table id="blame-days"></table>
 </div>
 <script>
 function hhmm(s) {
@@ -279,6 +301,33 @@ async function refresh() {
           (w.mean_share ? w.mean_share.toFixed(2) : "-") + "</td></tr>").join("");
     }
   } catch (e) { /* utilization panel is optional */ }
+  try {
+    const resp = await fetch("api/forensics");
+    if (resp.ok) {
+      const f = await resp.json();
+      const days = f.days || [];
+      const comps = ["queue_wait", "contention", "failure", "upstream_wait", "estimate_error"];
+      const colors = {queue_wait: "#48a", contention: "#a84", failure: "#a44",
+                      upstream_wait: "#848", estimate_error: "#666"};
+      document.getElementById("blame-panel").style.display = "";
+      document.getElementById("blame-legend").innerHTML = "· " + comps.map(c =>
+        '<span class="bar" style="width:9px;background:' + colors[c] + '"></span> ' + c).join(" ");
+      const maxLate = Math.max(1, ...days.map(d => d.lateness));
+      document.getElementById("blame-days").innerHTML =
+        "<tr><th>day</th><th>runs</th><th>lateness</th><th>dominant</th><th>blame mix</th></tr>" +
+        days.slice(-40).map(d => {
+          const total = comps.reduce((s, c) => s + ((d.components || {})[c] || 0), 0);
+          const width = Math.round(300 * d.lateness / maxLate);
+          const bar = total <= 0 ? "" : comps.map(c => {
+            const w = Math.round(width * ((d.components || {})[c] || 0) / total);
+            return w <= 0 ? "" :
+              '<span class="bar" style="width:' + w + 'px;background:' + colors[c] + '"></span>';
+          }).join("");
+          return "<tr><td>" + d.day + "</td><td>" + d.runs + "</td><td>" + hhmm(d.lateness) +
+                 "</td><td>" + d.dominant + "</td><td>" + bar + "</td></tr>";
+        }).join("");
+    }
+  } catch (e) { /* blame panel is optional */ }
 }
 refresh();
 setInterval(refresh, 2000);

@@ -32,10 +32,16 @@ func SpansSchema() Schema {
 }
 
 // LoadSpans creates (or extends) the spans table from exported trace
-// spans (telemetry.Tracer.Spans), indexing cat and track. The forecast,
-// day, and node columns are lifted from the span annotations of the same
-// names (zero values when absent); interrupted marks spans closed by
-// EndOpen rather than a normal end.
+// spans (telemetry.Tracer.Spans), indexing id, cat, and track. The
+// forecast, day, and node columns are lifted from the span annotations of
+// the same names (zero values when absent); interrupted marks spans
+// closed by EndOpen rather than a normal end.
+//
+// Loads are idempotent the way UpsertRuns is: rows are keyed on the span
+// id, so re-loading the same trace (a monitor flush followed by an
+// end-of-campaign flush, or a harvester re-pass) updates rows in place
+// instead of duplicating them. Span ids are only unique within one
+// tracer; feed one statsdb spans table from one tracer.
 func LoadSpans(db *DB, spans []telemetry.Span) (*Table, error) {
 	t := db.Table(SpansTableName)
 	if t == nil {
@@ -44,7 +50,7 @@ func LoadSpans(db *DB, spans []telemetry.Span) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, col := range []string{"cat", "track"} {
+		for _, col := range []string{"id", "cat", "track"} {
 			if err := t.CreateIndex(col); err != nil {
 				return nil, err
 			}
@@ -77,7 +83,11 @@ func LoadSpans(db *DB, spans []telemetry.Span) (*Table, error) {
 			StringVal(node),
 			BoolVal(s.Args["interrupted"] == "true"),
 		}
-		if err := t.Insert(row); err != nil {
+		if ids := t.lookupRows("id", IntVal(s.ID)); len(ids) > 0 {
+			if err := t.Update(ids[0], row); err != nil {
+				return nil, err
+			}
+		} else if err := t.Insert(row); err != nil {
 			return nil, err
 		}
 	}

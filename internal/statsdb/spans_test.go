@@ -89,3 +89,50 @@ func TestLoadSpansInterruptedAndBadDay(t *testing.T) {
 		t.Fatal("expected error for non-integer day annotation")
 	}
 }
+
+// TestLoadSpansIdempotent re-loads the same trace (plus a continuation)
+// and checks rows update in place: the monitor-flush-then-final-flush
+// sequence must not duplicate spans.
+func TestLoadSpansIdempotent(t *testing.T) {
+	clock := 0.0
+	tr := telemetry.NewTracer(func() float64 { return clock })
+	run := tr.Begin("run", "tillamook/1", "fnode01", nil)
+	clock = 500
+
+	db := NewDB()
+	// First load: mid-campaign, the run span is still open (End = now).
+	if _, err := LoadSpans(db, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	// Second load of the identical export: no new rows.
+	tbl, err := LoadSpans(db, tr.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("after duplicate load Len = %d, want 1", tbl.Len())
+	}
+	if !tbl.Indexed("id") {
+		t.Fatal("span id not indexed")
+	}
+
+	// The campaign continues; the final flush carries the finished span
+	// and a new child. The old row is updated, the child inserted.
+	sim := tr.Begin("simulation", "sim:tillamook", "", run)
+	clock = 900
+	sim.EndSpan()
+	run.EndSpan()
+	if _, err := LoadSpans(db, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("after final flush Len = %d, want 2", tbl.Len())
+	}
+	res, err := db.Query("SELECT duration FROM spans WHERE cat = 'run'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Float() != 900 {
+		t.Fatalf("run duration after re-load = %v, want one row of 900", res.Rows)
+	}
+}

@@ -738,7 +738,11 @@ func (s *Sampler) Finalize(now float64) {
 func (s *Sampler) Samples() []Sample {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var out []Sample
+	total := 0
+	for _, ns := range s.states {
+		total += len(ns.samples)
+	}
+	out := make([]Sample, 0, total)
 	for _, ns := range s.states {
 		out = append(out, ns.samples...)
 	}
@@ -801,7 +805,7 @@ func (s *Sampler) MeanShareOver(node string, start, end float64) float64 {
 		return 1
 	}
 	var shareInt, runSecs float64
-	for _, sm := range ns.samples {
+	for _, sm := range overlappingSamples(ns.samples, start, end) {
 		lo, hi := math.Max(sm.Start, start), math.Min(sm.End, end)
 		if hi <= lo {
 			continue
@@ -816,6 +820,37 @@ func (s *Sampler) MeanShareOver(node string, start, end float64) float64 {
 		return 1
 	}
 	return shareInt / runSecs
+}
+
+// DownSecsOver returns the node's down time overlapping [start, end],
+// pro-rated within partially overlapped timeline buckets. Forensic blame
+// attribution charges this to the failure component.
+func (s *Sampler) DownSecsOver(node string, start, end float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns := s.nodes[node]
+	if ns == nil || end <= start {
+		return 0
+	}
+	var down float64
+	for _, sm := range overlappingSamples(ns.samples, start, end) {
+		lo, hi := math.Max(sm.Start, start), math.Min(sm.End, end)
+		if hi <= lo || sm.End <= sm.Start {
+			continue
+		}
+		down += sm.DownSecs * (hi - lo) / (sm.End - sm.Start)
+	}
+	return down
+}
+
+// overlappingSamples narrows a node's flushed timeline (disjoint buckets
+// in start order) to the ones that can intersect [start, end] — binary
+// search on both ends, so window queries over a long campaign cost
+// O(log n + overlap) instead of a full rescan per query.
+func overlappingSamples(ss []Sample, start, end float64) []Sample {
+	lo := sort.Search(len(ss), func(i int) bool { return ss[i].End > start })
+	hi := lo + sort.Search(len(ss)-lo, func(i int) bool { return ss[lo+i].Start >= end })
+	return ss[lo:hi]
 }
 
 // NodeSummary is one node's aggregate standing in the Status snapshot.
