@@ -31,15 +31,18 @@ check: test vet race
 # standard fig8 campaign), the planner's incremental-prediction
 # speedup (BENCH_planner.json, ≥ 5× over full repredict on the
 # 200-node/2000-run drop loop, with an incremental-vs-full equivalence
-# gate), and the forensics replay overhead (BENCH_forensics.json, < 5%
+# gate), the forensics replay overhead (BENCH_forensics.json, < 5%
 # on a 200-node / 2000-run campaign replayed with and without blame
-# analysis, ABBA-paired medians).
+# analysis, ABBA-paired medians), and the SPC observatory's overhead
+# budget (BENCH_spc.json, < 5% CPU on the same replay streamed with and
+# without control charts, min of interleaved rusage samples).
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/core ./internal/forensics ./internal/harvest ./internal/usage
+	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/core ./internal/forensics ./internal/harvest ./internal/spc ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_harvest.json $(GO) test -run TestEmitBenchReport -v ./internal/harvest
 	BENCH_OUT=$(CURDIR)/BENCH_usage.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_planner.json $(GO) test -count=1 -run TestEmitPlannerBenchReport -v ./internal/core
 	BENCH_OUT=$(CURDIR)/BENCH_forensics.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/forensics
+	BENCH_OUT=$(CURDIR)/BENCH_spc.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/spc
 
 clean:
 	$(GO) clean ./...

@@ -47,6 +47,7 @@ import (
 	"repro/internal/logs"
 	"repro/internal/monitor"
 	"repro/internal/plot"
+	"repro/internal/spc"
 	"repro/internal/statsdb"
 	"repro/internal/telemetry"
 	"repro/internal/usage"
@@ -188,6 +189,7 @@ func main() {
 	// Control room: attach the monitor before the campaign runs, serve it
 	// from a wall-clock goroutine while the simulation replays.
 	var mon *monitor.Monitor
+	var spcObs *spc.Observatory
 	var servedAddr net.Addr
 	if *monitorAddr != "" {
 		opts := monitor.DefaultOptions()
@@ -217,8 +219,43 @@ func main() {
 				monitor.UsageRules(nodeNames, 2*3600, monitor.SevWarning)...)
 			opts.Drift = monitor.DriftRule{RelAbove: 0.25, MinSecs: 600, Severity: monitor.SevWarning}
 		}
+		// Process-control rules: the SPC observatory's run-rule verdicts
+		// and changepoint detections surface through the standard alert
+		// lifecycle alongside the threshold and staleness rules.
+		opts.OutOfControl = monitor.OutOfControlRule{Enabled: true, Severity: monitor.SevWarning}
+		opts.Changepoint = monitor.ChangepointRule{Enabled: true, Severity: monitor.SevWarning}
 		mon = monitor.New(opts, tel.Registry())
 		mon.Attach(c)
+
+		// SPC observatory: every completed run streams through the online
+		// control charts the moment its log is written, so the charts —
+		// and the out_of_control/changepoint alerts they drive — track the
+		// replay live. Drift and node-share series need the run ledger and
+		// usage timeline and are closed out after the campaign drains.
+		spcObs = spc.New(spc.DefaultParams())
+		spcObs.OnEvent(func(e spc.Event) {
+			if cp := e.Changepoint; cp != nil {
+				mon.ObserveChangepoint(e.Kind, e.Subject, cp.Day, cp.DetectedDay, cp.Cause, cp.Before, cp.After)
+			}
+			mon.ObserveControl(e.Kind, e.Subject, e.Point.Day, e.SeriesOut, e.Point.Value, e.Point.Center, e.Point.Rules.Names())
+		})
+		spcObs.OnReplan(func(e spc.Event) {
+			fmt.Printf("REPLAN trigger: drift/%s out of control on day %d (%+.0fs against plan)\n",
+				e.Subject, e.Point.Day, e.Point.Value)
+		})
+		c.AddRunLogHook(func(r *logs.RunRecord) {
+			if r.End <= 0 || r.Walltime <= 0 {
+				return
+			}
+			deadline := 0.0
+			if s := c.Spec(r.Forecast); s != nil && s.Deadline > 0 {
+				deadline = float64(r.Day-c.StartDay())*factory.SecondsPerDay + s.Deadline
+			}
+			spcObs.ObserveRun(spc.RunObs{
+				Forecast: r.Forecast, Day: r.Day, Node: r.Node,
+				Walltime: r.Walltime, End: r.End, Deadline: deadline,
+			})
+		})
 		ln, err := net.Listen("tcp", *monitorAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -243,6 +280,10 @@ func main() {
 				return rep
 			})
 		}
+		// The SPC endpoint serves the observatory's current snapshot: the
+		// same report shape foreman -spc renders from the v5 tables, here
+		// refreshed live as runs complete during the replay.
+		srv.AttachSPC(func() any { return spcObs.Report() })
 		if *pprofOn {
 			srv.EnablePprof()
 		}
@@ -299,6 +340,34 @@ func main() {
 	}
 	if samp != nil {
 		samp.Finalize(c.Engine().Now())
+	}
+	if spcObs != nil {
+		// Close out the charts: plan-vs-actual drift from the control
+		// room's run ledger, per-node daily mean shares from the usage
+		// timeline, then persist the snapshot into the v5 tables so the
+		// end-of-campaign summary below is read back from the same rows
+		// /api/spc and foreman -spc render.
+		runs := mon.Status().Runs
+		sort.Slice(runs, func(i, j int) bool { return runs[i].End < runs[j].End })
+		for _, r := range runs {
+			if r.End == 0 || r.LaunchETA == 0 {
+				continue
+			}
+			spcObs.ObserveDrift(r.Forecast, r.Day, r.End, r.End-r.LaunchETA)
+		}
+		if samp != nil {
+			for day := c.StartDay(); day < c.StartDay()+c.Days(); day++ {
+				d0 := float64(day-c.StartDay()) * factory.SecondsPerDay
+				d1 := d0 + factory.SecondsPerDay
+				for _, n := range c.Cluster().Nodes() {
+					spcObs.ObserveNodeShare(n.Name(), day, d1, samp.MeanShareOver(n.Name(), d0, d1))
+				}
+			}
+		}
+		spcObs.Finalize()
+		if err := spc.LoadReport(statsDB, spcObs.Report()); err != nil {
+			fmt.Fprintln(os.Stderr, "spc:", err)
+		}
 	}
 
 	fmt.Printf("\n%s walltimes by day:\n", subject)
@@ -411,6 +480,17 @@ func main() {
 	if mon != nil {
 		fmt.Println("\nSLO report (deadline attainment):")
 		fmt.Print(mon.Report())
+		if spcObs != nil {
+			if rep, err := spc.ReadReport(statsDB); err == nil && len(rep.Series) > 0 {
+				fmt.Printf("\nprocess control (schema v%d; full report at /api/spc):\n",
+					statsdb.SchemaVersion(statsDB))
+				fmt.Print(spc.SummaryTable(rep))
+				if cps := spc.ChangepointTable(rep); cps != "" {
+					fmt.Println()
+					fmt.Print(cps)
+				}
+			}
+		}
 		if alerts := mon.Alerts(); len(alerts) > 0 {
 			firing := 0
 			for _, a := range alerts {

@@ -64,6 +64,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/plot"
 	"repro/internal/sim"
+	"repro/internal/spc"
 	"repro/internal/statsdb"
 	"repro/internal/telemetry"
 	"repro/internal/usage"
@@ -122,8 +123,9 @@ func main() {
 	sloFlag := flag.Bool("slo", false, "print the control-room SLO report and alert history for the bootstrap campaign")
 	harvestDir := flag.String("harvest", "", "harvest run logs incrementally from this real directory tree instead of bootstrapping a simulated campaign")
 	provenanceFlag := flag.String("provenance", "", "report every forecast using this code version from the harvested database, then exit")
-	utilizationFlag := flag.Bool("utilization", false, "replay today's plan on a simulated plant, print the utilization report, heatmap, contention windows, and plan-vs-actual drift, and persist node_usage + drift tables")
+	utilizationFlag := flag.String("utilization", "", "replay today's plan on a simulated plant, print the utilization report, heatmap, contention windows, and plan-vs-actual drift for this forecast (\"all\" for every run), and persist node_usage + drift tables")
 	blameFlag := flag.String("blame", "", "print the lateness-blame forensics report for this forecast (\"all\" for every forecast) from the bootstrap campaign")
+	spcFlag := flag.String("spc", "", "print the SPC control-chart report (run rules, changepoints) for this forecast (\"all\" for every series) from the bootstrap campaign")
 	flag.Parse()
 
 	h, ok := heuristicByName(*heuristicFlag)
@@ -138,11 +140,21 @@ func main() {
 	// one-shot Perl crawlers.
 	specs := plantSpecs()
 	nodeSpecs := factory.DefaultNodes()
+	// A flag naming a forecast the plant has never heard of would render
+	// an empty report; fail fast with the roster instead.
+	for _, f := range []struct{ name, value string }{
+		{"blame", *blameFlag}, {"utilization", *utilizationFlag}, {"spc", *spcFlag},
+	} {
+		if err := validateForecastFlag(f.name, f.value, specs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	// -sql turns collection on too: the bootstrap trace becomes the
 	// "spans" table, queryable whether or not an export file was asked
 	// for.
 	var tel *telemetry.Telemetry
-	if *metricsOut != "" || *traceOut != "" || *sqlFlag != "" || *sloFlag || *blameFlag != "" {
+	if *metricsOut != "" || *traceOut != "" || *sqlFlag != "" || *sloFlag || *blameFlag != "" || *spcFlag != "" {
 		tel = telemetry.New()
 		core.SetTelemetry(tel)
 		defer core.SetTelemetry(nil)
@@ -155,6 +167,9 @@ func main() {
 	if *harvestDir != "" {
 		if *blameFlag != "" {
 			fmt.Fprintln(os.Stderr, "-blame needs the bootstrap campaign's trace and timeline; it is ignored with -harvest")
+		}
+		if *spcFlag != "" {
+			fmt.Fprintln(os.Stderr, "-spc needs the bootstrap campaign's monitor and timeline; it is ignored with -harvest")
 		}
 		records = harvestOSTree(db, *harvestDir)
 	} else {
@@ -180,14 +195,17 @@ func main() {
 			// previous day's is an assignable-cause signal; -blame feeds
 			// the per-day decomposition back into this rule.
 			opts.Blame = monitor.BlameShiftRule{MinLateness: 600, Severity: monitor.SevWarning}
+			// -spc streams the observatory's verdicts into the alert book.
+			opts.OutOfControl = monitor.OutOfControlRule{Enabled: true, Severity: monitor.SevWarning}
+			opts.Changepoint = monitor.ChangepointRule{Enabled: true, Severity: monitor.SevWarning}
 			mon = monitor.New(opts, tel.Registry())
 			mon.Attach(campaign)
 		}
 		var samp *usage.Sampler
-		if *blameFlag != "" {
-			// -blame needs the per-node share and downtime timeline to
-			// split lateness into contention vs failure, so sample the
-			// bootstrap cluster while the campaign runs.
+		if *blameFlag != "" || *spcFlag != "" {
+			// -blame splits lateness into contention vs failure and -spc
+			// charts per-node mean share, so both need the per-node share
+			// and downtime timeline sampled while the campaign runs.
 			campaign.Prepare()
 			samp = usage.NewSampler(campaign.Cluster(), usage.Options{Interval: 900, Telemetry: tel})
 			samp.Start(campaign.Horizon())
@@ -235,6 +253,11 @@ func main() {
 			// raise lands in the alerts table too.
 			blameForensics(db, campaign, mon, samp, tel, specs, *blameFlag)
 		}
+		if *spcFlag != "" {
+			// Likewise before LoadAlerts: out_of_control and changepoint
+			// alerts join the persisted alert history.
+			spcReport(db, campaign, mon, samp, *spcFlag)
+		}
 		if mon != nil {
 			// Control-room alert history joins against runs via -sql.
 			if _, err := monitor.LoadAlerts(db, mon.Alerts()); err != nil {
@@ -270,7 +293,7 @@ func main() {
 	}
 	// With -utilization the query is deferred until after the replay has
 	// populated the node_usage and drift tables it most likely targets.
-	if *sqlFlag != "" && !*utilizationFlag {
+	if *sqlFlag != "" && *utilizationFlag == "" {
 		defer flushTelemetry(tel, *metricsOut, *traceOut)
 		runSQL(db, *sqlFlag)
 		return
@@ -378,8 +401,8 @@ func main() {
 	fmt.Println()
 	fmt.Print(plot.Gantt{Title: "today's plan (predicted completions)", Bars: bars, Now: *nowHour * 3600, Horizon: 86400}.Render())
 
-	if *utilizationFlag {
-		utilizationReplay(schedule, specs, db, tel)
+	if *utilizationFlag != "" {
+		utilizationReplay(schedule, specs, db, tel, *utilizationFlag)
 		if *sqlFlag != "" {
 			fmt.Println()
 			runSQL(db, *sqlFlag)
@@ -416,6 +439,24 @@ func runSQL(db *statsdb.DB, query string) {
 	}
 }
 
+// validateForecastFlag rejects a forecast-selecting flag value that names
+// no forecast on the plant's roster ("" = flag unused, "all" = every
+// forecast): an unknown name would otherwise render an empty report.
+func validateForecastFlag(flagName, value string, specs []*forecast.Spec) error {
+	if value == "" || value == "all" {
+		return nil
+	}
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		if s.Name == value {
+			return nil
+		}
+		names[i] = s.Name
+	}
+	return fmt.Errorf("foreman: -%s: unknown forecast %q (known: %s, or \"all\")",
+		flagName, value, strings.Join(names, ", "))
+}
+
 // utilizationReplay executes today's plan on a simulated plant and
 // compares what happened against what ForeMan predicted. Each assigned
 // run launches at its earliest start on its planned node, carrying the
@@ -424,7 +465,9 @@ func runSQL(db *statsdb.DB, query string) {
 // CPU-share contention. The usage sampler records the per-node timeline;
 // drift joins the observed completions against the prediction; both
 // persist into the statistics database (schema v3) for -sql queries.
-func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *statsdb.DB, tel *telemetry.Telemetry) {
+// forecastName narrows the drift report ("all" = every run); the replay,
+// the heatmap, and the persisted tables always cover the whole plan.
+func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *statsdb.DB, tel *telemetry.Telemetry, forecastName string) {
 	eng := sim.NewEngine()
 	if tel != nil {
 		eng.Instrument(tel.Registry())
@@ -494,8 +537,17 @@ func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *stat
 	}.Render())
 
 	drifts := usage.ComputeDrift(schedule.Plan, schedule.Prediction, outcomes, samp)
+	shown := drifts
+	if forecastName != "all" {
+		shown = nil
+		for _, d := range drifts {
+			if d.Run == forecastName {
+				shown = append(shown, d)
+			}
+		}
+	}
 	fmt.Println()
-	fmt.Print(usage.DriftReport(drifts))
+	fmt.Print(usage.DriftReport(shown))
 
 	if _, err := usage.LoadSamples(db, samp.Samples()); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -591,6 +643,104 @@ func blameForClause(forecastName string) string {
 		return ""
 	}
 	return " for " + forecastName
+}
+
+// spcReport runs the SPC observatory over the bootstrap campaign's vital
+// signs and prints the control-chart report. Baselines are seeded from
+// the harvested runs table (segmented at code-version changes); the
+// campaign's completed runs then stream through the charts in completion
+// order — walltime, estimate error, plan-vs-actual drift, daily
+// lateness, and per-node daily mean share. The observatory's verdicts
+// feed the monitor's out_of_control/changepoint rules as they happen,
+// the snapshot persists into the v5 tables (control_points,
+// changepoints), and the report is re-read from them — so this output
+// and the monitor's /api/spc endpoint render the same rows.
+func spcReport(db *statsdb.DB, campaign *factory.Campaign, mon *monitor.Monitor,
+	samp *usage.Sampler, forecastName string) {
+	subject := forecastName
+	if subject == "all" {
+		subject = ""
+	}
+	obs := spc.New(spc.DefaultParams())
+	fits, err := obs.SeedFromDB(db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	obs.OnEvent(func(e spc.Event) {
+		if cp := e.Changepoint; cp != nil {
+			mon.ObserveChangepoint(e.Kind, e.Subject, cp.Day, cp.DetectedDay, cp.Cause, cp.Before, cp.After)
+		}
+		mon.ObserveControl(e.Kind, e.Subject, e.Point.Day, e.SeriesOut, e.Point.Value, e.Point.Center, e.Point.Rules.Names())
+	})
+	// The replan-trigger seam: a drift series leaving control means the
+	// plan the factory is executing no longer predicts reality.
+	obs.OnReplan(func(e spc.Event) {
+		fmt.Printf("REPLAN trigger: drift/%s out of control on day %d (%+.0fs against plan)\n",
+			e.Subject, e.Point.Day, e.Point.Value)
+	})
+
+	// Stream completed runs through the charts in completion order.
+	runs := mon.Status().Runs
+	sort.Slice(runs, func(i, j int) bool { return runs[i].End < runs[j].End })
+	for _, r := range runs {
+		if r.End == 0 {
+			continue // never completed: nothing to chart
+		}
+		var estWall float64
+		if r.LaunchETA > r.Start {
+			estWall = r.LaunchETA - r.Start
+		}
+		obs.ObserveRun(spc.RunObs{
+			Forecast: r.Forecast, Day: r.Day, Node: r.Node,
+			Walltime: r.Walltime, EstimatedWalltime: estWall,
+			End: r.End, Deadline: r.Deadline,
+		})
+		if r.LaunchETA > 0 {
+			obs.ObserveDrift(r.Forecast, r.Day, r.End, r.End-r.LaunchETA)
+		}
+	}
+	// Per-node daily mean share from the usage timeline.
+	for day := campaign.StartDay(); day < campaign.StartDay()+campaign.Days(); day++ {
+		d0 := float64(day-campaign.StartDay()) * factory.SecondsPerDay
+		d1 := d0 + factory.SecondsPerDay
+		for _, n := range campaign.Cluster().Nodes() {
+			obs.ObserveNodeShare(n.Name(), day, d1, samp.MeanShareOver(n.Name(), d0, d1))
+		}
+	}
+	obs.Finalize()
+
+	if err := spc.LoadReport(db, obs.Report()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := spc.ReadReport(db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep = spc.FilterSubject(rep, subject)
+
+	fmt.Printf("\nprocess control%s (schema v%d; tables control_points, changepoints; %d history baselines):\n",
+		blameForClause(subject), statsdb.SchemaVersion(db), len(fits))
+	fmt.Print(spc.SummaryTable(rep))
+	fmt.Println()
+	fmt.Print(spc.ChangepointTable(rep))
+	for i := range rep.Series {
+		sr := &rep.Series[i]
+		// For the full-plant view, chart only the series with something
+		// to say; a named forecast gets all of its charts.
+		if subject == "" && !sr.Out && sr.Violations == 0 && len(sr.Changepoints) == 0 {
+			continue
+		}
+		fmt.Println()
+		fmt.Print(spc.SeriesChart(sr, 72, 14))
+	}
+	for _, a := range mon.FiringAlerts() {
+		if a.Rule == "out_of_control" || a.Rule == "changepoint" {
+			fmt.Printf("\nALERT %s %s: %s\n", a.Severity, a.Rule, a.Message)
+		}
+	}
 }
 
 // osFS adapts a real directory tree to the harvester's FS interface,

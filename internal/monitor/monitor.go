@@ -104,6 +104,11 @@ type Options struct {
 	// pass, fed via ObserveBlame) changes between days. The zero value
 	// (MinLateness 0) disables it.
 	Blame BlameShiftRule
+	// OutOfControl fires while an SPC series (fed via ObserveControl) is
+	// out of control; Changepoint fires when the SPC layer detects a
+	// level shift (fed via ObserveChangepoint). Zero values disable both.
+	OutOfControl OutOfControlRule
+	Changepoint  ChangepointRule
 	// Expected lists the forecasts that must produce a run every campaign
 	// day — the data-quality rule for "a run we expected never appeared".
 	// Attach fills it from the campaign roster. Empty disables the check.

@@ -20,6 +20,7 @@ import (
 //	GET /api/harvest      the harvest pipeline's status (when attached)
 //	GET /api/utilization  the usage sampler's status (when attached)
 //	GET /api/forensics    the lateness-blame report (when attached)
+//	GET /api/spc          the SPC control-chart report (when attached)
 //	GET /debug/pprof/     Go profiling endpoints (when EnablePprof)
 //
 // Handlers read monitor snapshots under its lock and never touch the
@@ -31,6 +32,7 @@ type Server struct {
 	harvestFn   func() any
 	utilFn      func() any
 	forensicsFn func() any
+	spcFn       func() any
 	runtime     *telemetry.RuntimeCollector
 	pprofOn     bool
 }
@@ -62,6 +64,13 @@ func (s *Server) AttachUtilization(fn func() any) { s.utilFn = fn }
 // Call before the server starts handling requests.
 func (s *Server) AttachForensics(fn func() any) { s.forensicsFn = fn }
 
+// AttachSPC wires the SPC observatory's control-chart report into the
+// server: fn (typically a closure over spc.ReadReport on the stats
+// database, or a live Observatory.Report) backs GET /api/spc and the
+// dashboard's control-chart panel. Call before the server starts
+// handling requests.
+func (s *Server) AttachSPC(fn func() any) { s.spcFn = fn }
+
 // EnablePprof mounts net/http/pprof under /debug/pprof/ on the next
 // Handler call — opt-in, because the profiler exposes stacks and heap
 // contents an operator console should not serve by default.
@@ -79,6 +88,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/harvest", s.handleHarvest)
 	mux.HandleFunc("GET /api/utilization", s.handleUtilization)
 	mux.HandleFunc("GET /api/forensics", s.handleForensics)
+	mux.HandleFunc("GET /api/spc", s.handleSPC)
 	if s.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -138,6 +148,14 @@ func (s *Server) handleForensics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.forensicsFn())
 }
 
+func (s *Server) handleSPC(w http.ResponseWriter, r *http.Request) {
+	if s.spcFn == nil {
+		http.Error(w, "no spc observatory attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.spcFn())
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.mon.Status())
 }
@@ -182,6 +200,7 @@ table { border-collapse: collapse; }
 td, th { padding: 2px 10px; border-bottom: 1px solid #333; text-align: left; }
 .ok { color: #7c7; } .warn { color: #fc6; } .crit { color: #f66; } .dim { color: #888; }
 .bar { display: inline-block; height: 9px; background: #4a8; vertical-align: middle; }
+.asof { font-weight: normal; font-size: 11px; }
 </style>
 </head>
 <body>
@@ -191,20 +210,29 @@ td, th { padding: 2px 10px; border-bottom: 1px solid #333; text-align: left; }
 <h2>runs</h2><table id="runs"></table>
 <h2>nodes</h2><table id="nodes"></table>
 <div id="util-panel" style="display:none">
-<h2>utilization <span id="util-legend" class="dim"></span></h2>
+<h2>utilization <span id="util-asof" class="asof dim"></span> <span id="util-legend" class="dim"></span></h2>
 <pre id="util-heatmap" style="line-height:1.1"></pre>
 <table id="util-windows"></table>
 </div>
 <div id="harvest-panel" style="display:none">
-<h2>harvest</h2>
+<h2>harvest <span id="harvest-asof" class="asof dim"></span></h2>
 <div id="harvest-summary" class="dim"></div>
 <table id="harvest-quarantine"></table>
 </div>
 <div id="blame-panel" style="display:none">
-<h2>lateness blame <span id="blame-legend" class="dim"></span></h2>
+<h2>lateness blame <span id="blame-asof" class="asof dim"></span> <span id="blame-legend" class="dim"></span></h2>
 <table id="blame-days"></table>
 </div>
+<div id="spc-panel" style="display:none">
+<h2>process control <span id="spc-asof" class="asof dim"></span></h2>
+<table id="spc-series"></table>
+<table id="spc-changepoints"></table>
+</div>
 <script>
+// One shared refresh interval drives every panel, and each panel stamps
+// the sim time of the pass that produced its data — a panel whose fetch
+// failed is marked stale instead of silently showing mixed-age data.
+const REFRESH_MS = 2000;
 function hhmm(s) {
   const sign = s < 0 ? "-" : ""; s = Math.abs(s);
   return sign + Math.floor(s/3600) + ":" + String(Math.floor(s%3600/60)).padStart(2, "0");
@@ -213,9 +241,22 @@ function cls(state) {
   return {late: "crit", "on-time": "ok", running: "", dropped: "warn",
           critical: "crit", warning: "warn", info: "dim"}[state] || "";
 }
+function stamp(panel, simNow, simDay, ok) {
+  const el = document.getElementById(panel + "-asof");
+  if (!el) return;
+  if (ok && simNow !== null) {
+    el.textContent = "· last updated day " + simDay + " t=" + hhmm(simNow);
+    el.className = "asof dim";
+  } else {
+    el.textContent = "· STALE (fetch failed)";
+    el.className = "asof crit";
+  }
+}
 async function refresh() {
+  let simNow = null, simDay = null;
   try {
     const st = await (await fetch("api/status")).json();
+    simNow = st.now; simDay = st.day;
     const sm = st.summary;
     document.getElementById("summary").textContent =
       "sim day " + st.day + " (t=" + hhmm(st.now) + ")" + (st.done ? " — campaign done" : "") +
@@ -267,8 +308,9 @@ async function refresh() {
         "<tr><th>quarantined file</th><th>error</th></tr>" +
         q.slice(0, 20).map(e =>
           '<tr><td class="warn">' + e.path + '</td><td class="dim">' + e.error + "</td></tr>").join("");
+      stamp("harvest", simNow, simDay, true);
     }
-  } catch (e) { /* harvest panel is optional */ }
+  } catch (e) { stamp("harvest", simNow, simDay, false); }
   try {
     const resp = await fetch("api/utilization");
     if (resp.ok) {
@@ -299,8 +341,9 @@ async function refresh() {
           '<tr><td class="warn">' + w.node + "</td><td>" + hhmm(w.start) + "</td><td>" + hhmm(w.end) +
           "</td><td>" + (w.peak_active || "-") + "</td><td>" +
           (w.mean_share ? w.mean_share.toFixed(2) : "-") + "</td></tr>").join("");
+      stamp("util", simNow, simDay, true);
     }
-  } catch (e) { /* utilization panel is optional */ }
+  } catch (e) { stamp("util", simNow, simDay, false); }
   try {
     const resp = await fetch("api/forensics");
     if (resp.ok) {
@@ -326,11 +369,47 @@ async function refresh() {
           return "<tr><td>" + d.day + "</td><td>" + d.runs + "</td><td>" + hhmm(d.lateness) +
                  "</td><td>" + d.dominant + "</td><td>" + bar + "</td></tr>";
         }).join("");
+      stamp("blame", simNow, simDay, true);
     }
-  } catch (e) { /* blame panel is optional */ }
+  } catch (e) { stamp("blame", simNow, simDay, false); }
+  try {
+    const resp = await fetch("api/spc");
+    if (resp.ok) {
+      const rep = await resp.json();
+      const series = rep.series || [];
+      document.getElementById("spc-panel").style.display = "";
+      document.getElementById("spc-series").innerHTML =
+        "<tr><th>kind</th><th>subject</th><th>n</th><th>center</th><th>sigma</th>" +
+        "<th>viol</th><th>state</th><th>recent (· ok, ! violation, : learning)</th></tr>" +
+        series.map(s => {
+          const pts = s.points || [];
+          const trace = pts.slice(-60).map(p =>
+            p.learning ? ":" : (p.out ? "!" : "·")).join("");
+          const state = pts.some(p => !p.learning)
+            ? (s.out ? '<span class="crit">OUT</span>' : '<span class="ok">in</span>')
+            : '<span class="dim">learning</span>';
+          return "<tr><td>" + s.kind + "</td><td>" + s.subject + "</td><td>" + pts.length +
+                 "</td><td>" + s.center.toPrecision(4) + "</td><td>" + s.sigma.toPrecision(4) +
+                 "</td><td>" + (s.violations || 0) + "</td><td>" + state +
+                 "</td><td><code>" + trace + "</code></td></tr>";
+        }).join("");
+      const cps = series.flatMap(s =>
+        (s.changepoints || []).map(c => ({kind: s.kind, subject: s.subject, ...c})));
+      cps.sort((a, b) => a.detected_day - b.detected_day);
+      document.getElementById("spc-changepoints").innerHTML = cps.length === 0 ? "" :
+        "<tr><th>changepoint</th><th>day</th><th>detected</th><th>cause</th>" +
+        "<th>before</th><th>after</th></tr>" +
+        cps.slice(-20).map(c =>
+          '<tr><td class="warn">' + c.kind + "/" + c.subject + "</td><td>" + c.day +
+          "</td><td>" + c.detected_day + "</td><td>" + c.cause +
+          "</td><td>" + c.before.toPrecision(4) + "</td><td>" + c.after.toPrecision(4) +
+          "</td></tr>").join("");
+      stamp("spc", simNow, simDay, true);
+    }
+  } catch (e) { stamp("spc", simNow, simDay, false); }
 }
 refresh();
-setInterval(refresh, 2000);
+setInterval(refresh, REFRESH_MS);
 </script>
 </body>
 </html>

@@ -1,0 +1,95 @@
+package monitor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OutOfControlRule fires while an SPC-monitored series (a control chart
+// kept by internal/spc) is out of control — a run-rule violation on any
+// of the factory's vital signs — and resolves when the series' next
+// judged point is clean. The zero value disables the rule.
+type OutOfControlRule struct {
+	Enabled  bool
+	Severity Severity
+}
+
+// ChangepointRule fires when the SPC layer's CUSUM detects a level shift
+// in a monitored series — the "assignable cause located" signal, e.g. a
+// code-version change moving a forecast's run-time mean. The alert
+// resolves once the series is back in control under its re-fit baseline.
+// The zero value disables the rule.
+type ChangepointRule struct {
+	Enabled  bool
+	Severity Severity
+}
+
+// spcKeys builds the dedupe keys for one monitored series.
+func spcKeys(kind, subject string) (control, changepoint string) {
+	return "spc:" + kind + ":" + subject, "changepoint:" + kind + ":" + subject
+}
+
+// spcAttribution maps a series identity onto the alert's forecast/node
+// fields: node_share subjects are nodes, factory-wide subjects are
+// neither, everything else is a forecast.
+func spcAttribution(kind, subject string) (forecastName, node string) {
+	switch {
+	case kind == "node_share":
+		return "", subject
+	case subject == "factory":
+		return "", ""
+	default:
+		return subject, ""
+	}
+}
+
+// ObserveControl reports one judged SPC point: whether the series is out
+// of control after it, the observed value against its center line, and
+// the violated rule names. While the series is out the out_of_control
+// alert fires (observation fields refreshed in place); a clean point
+// resolves it along with any changepoint alert on the same series.
+// Plain values keep the monitor free of an spc import — callers relay
+// the observatory's event stream.
+func (m *Monitor) ObserveControl(kind, subject string, day int, out bool, value, center float64, rules []string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rule := m.opts.OutOfControl
+	if !rule.Enabled {
+		return
+	}
+	key, cpKey := spcKeys(kind, subject)
+	if !out {
+		m.book.resolve(m.now, key)
+		m.book.resolve(m.now, cpKey)
+		return
+	}
+	forecastName, node := spcAttribution(kind, subject)
+	m.book.fire(m.now, Alert{
+		Rule: "out_of_control", Key: key, Severity: rule.Severity,
+		Forecast: forecastName, Day: day, Node: node,
+		Value: value, Threshold: center,
+		Message: fmt.Sprintf("%s/%s out of control on day %d: %g against center %g (rules %s)",
+			kind, subject, day, value, center, strings.Join(rules, ",")),
+	})
+}
+
+// ObserveChangepoint reports one detected level shift in an SPC series.
+// The changepoint alert fires keyed to the series and resolves when
+// ObserveControl later sees the series clean under its new baseline.
+func (m *Monitor) ObserveChangepoint(kind, subject string, day, detectedDay int, cause string, before, after float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rule := m.opts.Changepoint
+	if !rule.Enabled {
+		return
+	}
+	_, cpKey := spcKeys(kind, subject)
+	forecastName, node := spcAttribution(kind, subject)
+	m.book.fire(m.now, Alert{
+		Rule: "changepoint", Key: cpKey, Severity: rule.Severity,
+		Forecast: forecastName, Day: day, Node: node,
+		Value: after, Threshold: before,
+		Message: fmt.Sprintf("%s/%s level shift on day %d (detected day %d, %s): mean %g → %g",
+			kind, subject, day, detectedDay, cause, before, after),
+	})
+}

@@ -1,0 +1,158 @@
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ControlChart renders one SPC individuals chart as ASCII: the observed
+// series with center line and control limits overlaid, out-of-control
+// points highlighted, and changepoints marked on the axis. The same
+// grid-scaling approach as Chart, specialized for the horizontal
+// reference lines a control chart needs.
+type ControlChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 16)
+
+	X []float64 // observation positions (seq or day)
+	Y []float64 // observed values
+	// Out marks out-of-control points (rendered '!'); Learning marks
+	// baseline-collection points (rendered '.'); both are optional and
+	// positional with X/Y.
+	Out      []bool
+	Learning []bool
+
+	// Center and the control limits draw as horizontal lines; all three
+	// are skipped when Center == UCL == LCL == 0 (unfitted series).
+	Center float64
+	UCL    float64
+	LCL    float64
+
+	// Changepoints are x positions marked '^' under the axis.
+	Changepoints []float64
+}
+
+// Render draws the control chart.
+func (c ControlChart) Render() string {
+	width := c.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	points := 0
+	for i := range c.X {
+		if math.IsNaN(c.X[i]) || math.IsNaN(c.Y[i]) {
+			continue
+		}
+		points++
+		minX, maxX = math.Min(minX, c.X[i]), math.Max(maxX, c.X[i])
+		minY, maxY = math.Min(minY, c.Y[i]), math.Max(maxY, c.Y[i])
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if points == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	hasLimits := !(c.Center == 0 && c.UCL == 0 && c.LCL == 0)
+	if hasLimits {
+		// The limits must be visible even when every point sits inside.
+		minY, maxY = math.Min(minY, c.LCL), math.Max(maxY, c.UCL)
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	if minY == maxY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(y float64) int {
+		return height - 1 - int(math.Round((y-minY)/(maxY-minY)*float64(height-1)))
+	}
+	colOf := func(x float64) int {
+		return int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+	}
+	drawLine := func(y float64, mark byte) {
+		row := rowOf(y)
+		if row < 0 || row >= height {
+			return
+		}
+		for col := 0; col < width; col++ {
+			grid[row][col] = mark
+		}
+	}
+	if hasLimits {
+		drawLine(c.UCL, '=')
+		drawLine(c.LCL, '=')
+		drawLine(c.Center, '-')
+	}
+	for i := range c.X {
+		if math.IsNaN(c.X[i]) || math.IsNaN(c.Y[i]) {
+			continue
+		}
+		mark := byte('*')
+		if i < len(c.Learning) && c.Learning[i] {
+			mark = '.'
+		}
+		if i < len(c.Out) && c.Out[i] {
+			mark = '!'
+		}
+		grid[rowOf(c.Y[i])][colOf(c.X[i])] = mark
+	}
+
+	yAxis := func(row int) float64 {
+		return maxY - (maxY-minY)*float64(row)/float64(height-1)
+	}
+	for row := 0; row < height; row++ {
+		label := fmt.Sprintf("%10.4g", yAxis(row))
+		switch row {
+		case rowOf(c.UCL):
+			if hasLimits {
+				label = fmt.Sprintf("UCL %6.4g", c.UCL)
+			}
+		case rowOf(c.Center):
+			if hasLimits {
+				label = fmt.Sprintf("CL  %6.4g", c.Center)
+			}
+		case rowOf(c.LCL):
+			if hasLimits {
+				label = fmt.Sprintf("LCL %6.4g", c.LCL)
+			}
+		}
+		fmt.Fprintf(&b, "%10s |%s|\n", label, string(grid[row]))
+	}
+	axis := []byte(strings.Repeat("-", width))
+	for _, x := range c.Changepoints {
+		if math.IsNaN(x) || x < minX || x > maxX {
+			continue
+		}
+		axis[colOf(x)] = '^'
+	}
+	fmt.Fprintf(&b, "%10s +%s+\n", "", string(axis))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", width/2, minX, width-width/2, maxX)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%10s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	legend := "* in control   ! rule violation   . learning"
+	if len(c.Changepoints) > 0 {
+		legend += "   ^ changepoint"
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", legend)
+	return b.String()
+}

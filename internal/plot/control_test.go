@@ -1,0 +1,39 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestControlChartRender(t *testing.T) {
+	c := ControlChart{
+		Title:        "run_time / fc",
+		X:            []float64{0, 1, 2, 3, 4, 5},
+		Y:            []float64{100, 101, 99, 100, 160, 140},
+		Out:          []bool{false, false, false, false, true, false},
+		Learning:     []bool{true, true, false, false, false, false},
+		Center:       100,
+		UCL:          110,
+		LCL:          90,
+		Changepoints: []float64{5},
+		Width:        40,
+		Height:       10,
+	}
+	out := c.Render()
+	for _, want := range []string{"run_time / fc", "UCL", "CL ", "LCL", "!", ".", "*", "^", "changepoint"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	// The limit lines are drawn even though no point reaches LCL.
+	if !strings.Contains(out, "=") || !strings.Contains(out, "-") {
+		t.Fatalf("limit lines missing:\n%s", out)
+	}
+}
+
+func TestControlChartEmpty(t *testing.T) {
+	out := ControlChart{Title: "empty"}.Render()
+	if !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty chart = %q", out)
+	}
+}

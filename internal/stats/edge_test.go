@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// The estimators sit under the planner and the SPC observatory, both of
+// which feed them whatever history exists — including none, one sample,
+// or a flat line. These tests pin the degenerate-input contracts: scalar
+// summaries answer NaN only where documented, slice-returning analyses
+// stay empty (never NaN-bearing), and zero-variance baselines produce
+// collapsed but usable control limits.
+
+func TestZeroVarianceBaseline(t *testing.T) {
+	flat := []float64{40000, 40000, 40000, 40000}
+	if sd := StdDev(flat); sd != 0 {
+		t.Fatalf("StdDev(flat) = %v, want 0", sd)
+	}
+	if mad := MAD(flat); mad != 0 {
+		t.Fatalf("MAD(flat) = %v, want 0", mad)
+	}
+	c, err := NewControlChart(flat, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Sigma != 0 || c.Upper != c.Center || c.Lower != c.Center {
+		t.Fatalf("flat baseline chart = %+v, want collapsed limits", c)
+	}
+	// Collapsed limits still judge: any departure from the flat center is
+	// out of control, the center itself is not.
+	out := c.OutOfControl([]float64{40000, 40001, 39999, 40000})
+	if len(out) != 2 || out[0] != 1 || out[1] != 2 {
+		t.Fatalf("OutOfControl = %v, want [1 2]", out)
+	}
+	// Zero-MAD outlier detection flags exact departures, not everything.
+	if got := Outliers([]float64{5, 5, 5, 6, 5}, 3); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("Outliers(near-flat) = %v, want [3]", got)
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	one := []float64{42}
+	if m := Mean(one); m != 42 {
+		t.Fatalf("Mean = %v", m)
+	}
+	if m := Median(one); m != 42 {
+		t.Fatalf("Median = %v", m)
+	}
+	if mad := MAD(one); mad != 0 {
+		t.Fatalf("MAD = %v, want 0", mad)
+	}
+	// One sample has no spread to estimate: StdDev answers NaN and the
+	// chart constructor refuses rather than emitting NaN limits.
+	if sd := StdDev(one); !math.IsNaN(sd) {
+		t.Fatalf("StdDev = %v, want NaN", sd)
+	}
+	if _, err := NewControlChart(one, 3); err == nil {
+		t.Fatal("control chart accepted a single baseline point")
+	}
+	if ma := MovingAverage(one, 5); len(ma) != 1 || ma[0] != 42 {
+		t.Fatalf("MovingAverage = %v", ma)
+	}
+	if got := Outliers(one, 3); len(got) != 0 {
+		t.Fatalf("Outliers = %v, want none", got)
+	}
+	if got := LevelShifts(one, 3, 1); got != nil {
+		t.Fatalf("LevelShifts = %v, want nil", got)
+	}
+}
+
+func TestEmptyInputNaNFree(t *testing.T) {
+	// Scalar summaries document NaN for empty input...
+	for name, got := range map[string]float64{
+		"Mean":   Mean(nil),
+		"Median": Median(nil),
+		"MAD":    MAD(nil),
+		"StdDev": StdDev(nil),
+	} {
+		if !math.IsNaN(got) {
+			t.Errorf("%s(nil) = %v, want NaN", name, got)
+		}
+	}
+	// ...but every slice-returning analysis must come back empty, with no
+	// NaN smuggled into an output element and no panic.
+	if ma := MovingAverage(nil, 3); len(ma) != 0 {
+		t.Errorf("MovingAverage(nil) = %v, want empty", ma)
+	}
+	if got := Outliers(nil, 3); got != nil {
+		t.Errorf("Outliers(nil) = %v, want nil", got)
+	}
+	if got := LevelShifts(nil, 5, 1); got != nil {
+		t.Errorf("LevelShifts(nil) = %v, want nil", got)
+	}
+	c, err := NewControlChart([]float64{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.OutOfControl(nil); got != nil {
+		t.Errorf("OutOfControl(nil) = %v, want nil", got)
+	}
+	if _, err := FitLinear(nil, nil); err == nil {
+		t.Error("FitLinear(nil, nil) accepted")
+	}
+}
