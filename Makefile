@@ -33,16 +33,21 @@ check: test vet race
 # 200-node/2000-run drop loop, with an incremental-vs-full equivalence
 # gate), the forensics replay overhead (BENCH_forensics.json, < 5%
 # on a 200-node / 2000-run campaign replayed with and without blame
-# analysis, ABBA-paired medians), and the SPC observatory's overhead
+# analysis, ABBA-paired medians), the SPC observatory's overhead
 # budget (BENCH_spc.json, < 5% CPU on the same replay streamed with and
-# without control charts, min of interleaved rusage samples).
+# without control charts, min of interleaved rusage samples), and the
+# simulation kernel's events/sec trajectory (BENCH_sim.json: replay
+# throughput with the kernel profiler detached and attached, < 5%
+# profiler overhead, and a ≥ 80%-of-baseline throughput gate against
+# the committed BENCH_sim_baseline.json).
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/core ./internal/forensics ./internal/harvest ./internal/spc ./internal/usage
+	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/core ./internal/engineprof ./internal/forensics ./internal/harvest ./internal/spc ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_harvest.json $(GO) test -run TestEmitBenchReport -v ./internal/harvest
 	BENCH_OUT=$(CURDIR)/BENCH_usage.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_planner.json $(GO) test -count=1 -run TestEmitPlannerBenchReport -v ./internal/core
 	BENCH_OUT=$(CURDIR)/BENCH_forensics.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/forensics
 	BENCH_OUT=$(CURDIR)/BENCH_spc.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/spc
+	BENCH_OUT=$(CURDIR)/BENCH_sim.json BENCH_BASELINE=$(CURDIR)/BENCH_sim_baseline.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/engineprof
 
 clean:
 	$(GO) clean ./...

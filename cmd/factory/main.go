@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/config"
+	"repro/internal/engineprof"
 	"repro/internal/factory"
 	"repro/internal/forensics"
 	"repro/internal/harvest"
@@ -67,6 +68,7 @@ func main() {
 	runsDir := flag.String("runs-dir", "", "mirror every run log into this real directory tree (harvestable later with foreman -harvest)")
 	usageInterval := flag.Float64("usage-interval", 0, "sample per-node CPU shares into the utilization timeline every this many sim-minutes (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/ on the control-room server")
+	engineProf := flag.Bool("engineprof", false, "attach the kernel profiler and print the per-label hotspot summary at campaign end (implied by -monitor-addr, which serves the live report at /api/engine)")
 	flag.Parse()
 
 	var cfg factory.Config
@@ -157,6 +159,15 @@ func main() {
 	// utilization observatory: run records land in runs, the sampler's
 	// timeline in node_usage, joinable on node and time overlap.
 	statsDB := statsdb.NewDB()
+
+	// The kernel profiler rides along whenever asked for explicitly or
+	// whenever the control room serves (so /api/engine always answers);
+	// the bench holds its overhead under 5% of the replay.
+	var kprof *engineprof.Profiler
+	if *engineProf || *monitorAddr != "" {
+		kprof = engineprof.New()
+		c.Engine().SetProbe(kprof)
+	}
 
 	// Continuous harvest: an incremental pass over the run tree every
 	// interval, journalled beside it, feeding the statistics database the
@@ -284,6 +295,9 @@ func main() {
 		// same report shape foreman -spc renders from the v5 tables, here
 		// refreshed live as runs complete during the replay.
 		srv.AttachSPC(func() any { return spcObs.Report() })
+		// The engine panel reads the profiler's live snapshot on the same
+		// refresh interval as every other panel.
+		srv.AttachEngine(func() any { return kprof.Report() })
 		if *pprofOn {
 			srv.EnablePprof()
 		}
@@ -474,6 +488,19 @@ func main() {
 			g := plot.Gantt{Title: "last day as executed (from trace spans)", Bars: dayBars, Width: 72}
 			fmt.Println()
 			fmt.Print(g.Render())
+		}
+	}
+
+	if kprof != nil {
+		// Persist the campaign's kernel profile into the v6 tables and
+		// re-read before rendering — the same rows foreman -engineprof
+		// and /api/engine derive from.
+		if err := engineprof.LoadReport(statsDB, kprof.Report()); err != nil {
+			fmt.Fprintln(os.Stderr, "engineprof:", err)
+		} else if rep, err := engineprof.ReadReport(statsDB); err == nil {
+			fmt.Printf("\nengine observatory (schema v%d; live report at /api/engine):\n",
+				statsdb.SchemaVersion(statsDB))
+			fmt.Print(engineprof.SummaryTable(rep, 8))
 		}
 	}
 

@@ -50,12 +50,14 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/engineprof"
 	"repro/internal/factory"
 	"repro/internal/forecast"
 	"repro/internal/forensics"
@@ -126,12 +128,35 @@ func main() {
 	utilizationFlag := flag.String("utilization", "", "replay today's plan on a simulated plant, print the utilization report, heatmap, contention windows, and plan-vs-actual drift for this forecast (\"all\" for every run), and persist node_usage + drift tables")
 	blameFlag := flag.String("blame", "", "print the lateness-blame forensics report for this forecast (\"all\" for every forecast) from the bootstrap campaign")
 	spcFlag := flag.String("spc", "", "print the SPC control-chart report (run rules, changepoints) for this forecast (\"all\" for every series) from the bootstrap campaign")
+	engineProfFlag := flag.Bool("engineprof", false, "attach the kernel profiler to the bootstrap campaign (and the -utilization replay) and print the per-label hotspot report with the queue-depth chart")
+	pprofOut := flag.String("pprof", "", "write a CPU profile covering this invocation's replay paths to this file (batch-mode mirror of the factory's /debug/pprof endpoints)")
 	flag.Parse()
 
 	h, ok := heuristicByName(*heuristicFlag)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown heuristic %q\n", *heuristicFlag)
 		os.Exit(2)
+	}
+
+	// -pprof profiles the whole invocation: bootstrap replay, planning,
+	// and the -utilization replay. The profile is finalized on the
+	// success path; error paths exit through os.Exit and leave a
+	// truncated file, which pprof rejects loudly rather than misreads.
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", *pprofOut)
+		}()
 	}
 
 	// 1. History: either harvest a real directory tree incrementally, or
@@ -163,6 +188,7 @@ func main() {
 	db := statsdb.NewDB()
 	var records []*logs.RunRecord
 	var mon *monitor.Monitor
+	var kprof *engineprof.Profiler
 
 	if *harvestDir != "" {
 		if *blameFlag != "" {
@@ -170,6 +196,9 @@ func main() {
 		}
 		if *spcFlag != "" {
 			fmt.Fprintln(os.Stderr, "-spc needs the bootstrap campaign's monitor and timeline; it is ignored with -harvest")
+		}
+		if *engineProfFlag {
+			fmt.Fprintln(os.Stderr, "-engineprof profiles the bootstrap campaign's engine; it is ignored with -harvest")
 		}
 		records = harvestOSTree(db, *harvestDir)
 	} else {
@@ -186,6 +215,10 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+		if *engineProfFlag {
+			kprof = engineprof.New()
+			campaign.Engine().SetProbe(kprof)
 		}
 		// The control room watches the bootstrap campaign: its alert history
 		// becomes the "alerts" table and its SLO report backs -slo.
@@ -265,6 +298,10 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+
+	if kprof != nil {
+		engineprofReport(db, kprof)
 	}
 
 	if *provenanceFlag != "" {
@@ -402,7 +439,7 @@ func main() {
 	fmt.Print(plot.Gantt{Title: "today's plan (predicted completions)", Bars: bars, Now: *nowHour * 3600, Horizon: 86400}.Render())
 
 	if *utilizationFlag != "" {
-		utilizationReplay(schedule, specs, db, tel, *utilizationFlag)
+		utilizationReplay(schedule, specs, db, tel, *utilizationFlag, *engineProfFlag)
 		if *sqlFlag != "" {
 			fmt.Println()
 			runSQL(db, *sqlFlag)
@@ -467,10 +504,15 @@ func validateForecastFlag(flagName, value string, specs []*forecast.Spec) error 
 // persist into the statistics database (schema v3) for -sql queries.
 // forecastName narrows the drift report ("all" = every run); the replay,
 // the heatmap, and the persisted tables always cover the whole plan.
-func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *statsdb.DB, tel *telemetry.Telemetry, forecastName string) {
+func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *statsdb.DB, tel *telemetry.Telemetry, forecastName string, profile bool) {
 	eng := sim.NewEngine()
 	if tel != nil {
 		eng.Instrument(tel.Registry())
+	}
+	var kprof *engineprof.Profiler
+	if profile {
+		kprof = engineprof.New()
+		eng.SetProbe(kprof)
 	}
 	cl := cluster.New(eng)
 	for _, n := range schedule.Plan.Nodes {
@@ -485,6 +527,7 @@ func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *stat
 	for _, s := range specs {
 		specOf[s.Name] = s
 	}
+	replaySched := eng.Scope("replay")
 	var outcomes []usage.Outcome
 	for _, r := range schedule.Plan.Runs {
 		nodeName, ok := schedule.Plan.Assign[r.Name]
@@ -497,7 +540,7 @@ func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *stat
 		if s := specOf[run.Name]; s != nil {
 			work = s.TotalWork()
 		}
-		eng.At(run.Start, func() {
+		replaySched.At(run.Start, func() {
 			start := eng.Now()
 			done := func() {
 				outcomes = append(outcomes, usage.Outcome{
@@ -559,6 +602,43 @@ func utilizationReplay(schedule *core.Schedule, specs []*forecast.Spec, db *stat
 	}
 	fmt.Printf("persisted: node_usage %d rows, drift %d rows (schema v%d; query with -sql)\n",
 		db.Table(usage.NodeUsageTableName).Len(), db.Table(usage.DriftTableName).Len(),
+		statsdb.SchemaVersion(db))
+
+	if kprof != nil {
+		// The replay engine's profile renders live (the statsdb rows hold
+		// the bootstrap campaign's profile; mixing two engines' rows under
+		// the same labels would double-count).
+		rep := kprof.Report()
+		fmt.Println("\nengine observatory (utilization replay):")
+		fmt.Print(engineprof.SummaryTable(rep, 10))
+		fmt.Println()
+		fmt.Print(engineprof.DepthChart(rep))
+	}
+}
+
+// engineprofReport persists the bootstrap campaign's kernel profile into
+// the v6 tables and re-reads it before rendering, so this output, the
+// statsdb rows, and the monitor's /api/engine endpoint agree — the same
+// discipline as -blame and -spc.
+func engineprofReport(db *statsdb.DB, kprof *engineprof.Profiler) {
+	if err := engineprof.LoadReport(db, kprof.Report()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rep, err := engineprof.ReadReport(db)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("\nengine observatory (bootstrap campaign):")
+	fmt.Print(engineprof.SummaryTable(rep, 10))
+	fmt.Println()
+	fmt.Print(engineprof.HistTable(rep, 10))
+	fmt.Println()
+	fmt.Print(engineprof.DepthChart(rep))
+	fmt.Printf("persisted: %s %d rows, %s %d rows (schema v%d; query with -sql)\n",
+		engineprof.ProfileTableName, db.Table(engineprof.ProfileTableName).Len(),
+		engineprof.DepthTableName, db.Table(engineprof.DepthTableName).Len(),
 		statsdb.SchemaVersion(db))
 }
 

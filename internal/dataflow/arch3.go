@@ -100,6 +100,7 @@ func RunPartitioned(p Params, k int) Result {
 		rsyncs = append(rsyncs, rs)
 	}
 
+	sched := eng.Scope("dataflow")
 	allDone := func() bool {
 		if !run.Finished() {
 			return false
@@ -127,9 +128,9 @@ func RunPartitioned(p Params, k int) Result {
 		if eng.Now() > watchdogDeadline {
 			panic("dataflow: partitioned run did not complete")
 		}
-		eng.After(p.SampleInterval, watchdog)
+		sched.After(p.SampleInterval, watchdog)
 	}
-	eng.After(p.SampleInterval, watchdog)
+	sched.After(p.SampleInterval, watchdog)
 
 	eng.Run()
 

@@ -237,6 +237,7 @@ func Run(arch Architecture, p Params) Result {
 	// Sample the watched series at the server.
 	watchPaths := resolveWatch(run, p.Watch)
 	samples := make(map[string][]sample, len(watchPaths))
+	sched := eng.Scope("dataflow")
 	var sampler func()
 	samplerDone := false
 	sampler = func() {
@@ -244,10 +245,10 @@ func Run(arch Architecture, p Params) Result {
 			samples[name] = append(samples[name], sample{eng.Now(), serverFS.Size(path)})
 		}
 		if !samplerDone {
-			eng.After(p.SampleInterval, sampler)
+			sched.After(p.SampleInterval, sampler)
 		}
 	}
-	eng.After(p.SampleInterval, sampler)
+	sched.After(p.SampleInterval, sampler)
 
 	// Watchdog: once the run is finished and rsync has delivered
 	// everything, stop the periodic agents so the event queue drains.
@@ -262,9 +263,9 @@ func Run(arch Architecture, p Params) Result {
 		if eng.Now() > watchdogDeadline {
 			panic(fmt.Sprintf("dataflow: %v did not complete within %v virtual seconds", arch, watchdogDeadline))
 		}
-		eng.After(p.SampleInterval, watchdog)
+		sched.After(p.SampleInterval, watchdog)
 	}
-	eng.After(p.SampleInterval, watchdog)
+	sched.After(p.SampleInterval, watchdog)
 
 	eng.Run()
 

@@ -1,0 +1,96 @@
+// Terminal rendering of the engine observatory: the hotspot table that
+// `foreman -engineprof` prints, the campaign-end summary in cmd/factory,
+// and the queue-depth chart. The monitor dashboard renders the same
+// Report client-side from /api/engine.
+
+package engineprof
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/plot"
+)
+
+// fmtNS renders nanoseconds human-readably (µs/ms/s).
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", ns)
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	}
+}
+
+// SummaryTable renders the top-k hotspot report: one row per label,
+// hottest first, with share of total handler wall-clock, counts, mean
+// and max handler cost, and mean sim-time dwell. Wall figures are
+// extrapolated from the engine's sampled handler timings (the timed
+// column counts the handlers actually measured).
+func SummaryTable(rep *Report, k int) string {
+	var b strings.Builder
+	total := rep.TotalWallEstNS()
+	fmt.Fprintf(&b, "engine observatory: %d events fired, %d cancelled, ~%s handler wall-clock (sampled), peak queue depth %d\n",
+		rep.TotalFired(), rep.TotalCancelled(), fmtNS(int64(total)), rep.MaxDepth())
+	fmt.Fprintf(&b, "%-10s %6s %10s %10s %10s %8s %10s %10s %12s\n",
+		"label", "wall%", "wall", "fired", "cancelled", "timed", "mean", "max", "dwell(mean)")
+	for _, l := range rep.TopK(k) {
+		share := 0.0
+		if total > 0 {
+			share = 100 * l.WallEstNS() / total
+		}
+		fmt.Fprintf(&b, "%-10s %5.1f%% %10s %10d %10d %8d %10s %10s %11.0fs\n",
+			l.Label, share, fmtNS(int64(l.WallEstNS())), l.Fired, l.Cancelled,
+			l.WallSampled, fmtNS(int64(l.WallMeanNS())), fmtNS(l.WallMaxNS), l.DwellMean())
+	}
+	if n := len(rep.Labels); k > 0 && n > k {
+		fmt.Fprintf(&b, "... and %d more labels\n", n-k)
+	}
+	return b.String()
+}
+
+// HistTable renders the handler-cost decade histogram for the top-k
+// labels: how many timed handlers of each label landed in each cost
+// decade.
+func HistTable(rep *Report, k int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "label")
+	for _, h := range HistBucketLabels {
+		fmt.Fprintf(&b, " %8s", h)
+	}
+	b.WriteByte('\n')
+	for _, l := range rep.TopK(k) {
+		fmt.Fprintf(&b, "%-10s", l.Label)
+		for _, n := range l.WallHist {
+			fmt.Fprintf(&b, " %8d", n)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DepthChart renders the pending-queue-depth timeline as an ASCII chart
+// with sim time in days on the x axis.
+func DepthChart(rep *Report) string {
+	if len(rep.Depth) == 0 {
+		return "engine observatory: no queue-depth samples\n"
+	}
+	xs := make([]float64, len(rep.Depth))
+	ys := make([]float64, len(rep.Depth))
+	for i, p := range rep.Depth {
+		xs[i] = p.T / 86400
+		ys[i] = float64(p.Depth)
+	}
+	return plot.Chart{
+		Title:  "pending-queue depth (max per bucket)",
+		XLabel: "sim time (days)",
+		YLabel: "events",
+		Series: []plot.Series{{Name: "depth", X: xs, Y: ys}},
+	}.Render()
+}

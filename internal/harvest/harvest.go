@@ -521,6 +521,7 @@ func Schedule(eng *sim.Engine, h *Harvester, interval, horizon float64, onErr fu
 	if interval <= 0 {
 		return
 	}
+	sched := eng.Scope("harvest")
 	var tick func()
 	tick = func() {
 		if _, err := h.Pass(); err != nil {
@@ -530,8 +531,8 @@ func Schedule(eng *sim.Engine, h *Harvester, interval, horizon float64, onErr fu
 			return
 		}
 		if eng.Now()+interval <= horizon {
-			eng.After(interval, tick)
+			sched.After(interval, tick)
 		}
 	}
-	eng.After(interval, tick)
+	sched.After(interval, tick)
 }

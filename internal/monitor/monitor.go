@@ -251,6 +251,7 @@ func (m *Monitor) Attach(c *factory.Campaign) {
 	c.AddRunLogHook(m.ObserveRecord)
 
 	eng := c.Engine()
+	sched := eng.Scope("monitor")
 	horizon := c.Horizon()
 	interval := m.opts.TickEvery
 	var tick func()
@@ -262,10 +263,10 @@ func (m *Monitor) Attach(c *factory.Campaign) {
 		}
 		m.ObserveSnapshot(snap, nodes)
 		if eng.Now()+interval <= horizon {
-			eng.After(interval, tick)
+			sched.After(interval, tick)
 		}
 	}
-	eng.After(interval, tick)
+	sched.After(interval, tick)
 }
 
 // runKey builds the tracker key for a record.

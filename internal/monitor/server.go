@@ -21,6 +21,7 @@ import (
 //	GET /api/utilization  the usage sampler's status (when attached)
 //	GET /api/forensics    the lateness-blame report (when attached)
 //	GET /api/spc          the SPC control-chart report (when attached)
+//	GET /api/engine       the kernel profiler's hotspot report (when attached)
 //	GET /debug/pprof/     Go profiling endpoints (when EnablePprof)
 //
 // Handlers read monitor snapshots under its lock and never touch the
@@ -33,6 +34,7 @@ type Server struct {
 	utilFn      func() any
 	forensicsFn func() any
 	spcFn       func() any
+	engineFn    func() any
 	runtime     *telemetry.RuntimeCollector
 	pprofOn     bool
 }
@@ -71,6 +73,13 @@ func (s *Server) AttachForensics(fn func() any) { s.forensicsFn = fn }
 // handling requests.
 func (s *Server) AttachSPC(fn func() any) { s.spcFn = fn }
 
+// AttachEngine wires the kernel profiler's report into the server: fn
+// (typically a closure over engineprof.Profiler.Report, whose snapshot
+// is safe to take while the engine runs) backs GET /api/engine and the
+// dashboard's engine panel. Call before the server starts handling
+// requests.
+func (s *Server) AttachEngine(fn func() any) { s.engineFn = fn }
+
 // EnablePprof mounts net/http/pprof under /debug/pprof/ on the next
 // Handler call — opt-in, because the profiler exposes stacks and heap
 // contents an operator console should not serve by default.
@@ -89,6 +98,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/utilization", s.handleUtilization)
 	mux.HandleFunc("GET /api/forensics", s.handleForensics)
 	mux.HandleFunc("GET /api/spc", s.handleSPC)
+	mux.HandleFunc("GET /api/engine", s.handleEngine)
 	if s.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -154,6 +164,14 @@ func (s *Server) handleSPC(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.spcFn())
+}
+
+func (s *Server) handleEngine(w http.ResponseWriter, r *http.Request) {
+	if s.engineFn == nil {
+		http.Error(w, "no kernel profiler attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.engineFn())
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -227,6 +245,12 @@ td, th { padding: 2px 10px; border-bottom: 1px solid #333; text-align: left; }
 <h2>process control <span id="spc-asof" class="asof dim"></span></h2>
 <table id="spc-series"></table>
 <table id="spc-changepoints"></table>
+</div>
+<div id="engine-panel" style="display:none">
+<h2>engine observatory <span id="engine-asof" class="asof dim"></span></h2>
+<div id="engine-summary" class="dim"></div>
+<table id="engine-labels"></table>
+<pre id="engine-depth" style="line-height:1.1"></pre>
 </div>
 <script>
 // One shared refresh interval drives every panel, and each panel stamps
@@ -407,6 +431,49 @@ async function refresh() {
       stamp("spc", simNow, simDay, true);
     }
   } catch (e) { stamp("spc", simNow, simDay, false); }
+  try {
+    const resp = await fetch("api/engine");
+    if (resp.ok) {
+      const rep = await resp.json();
+      const labels = rep.labels || [];
+      document.getElementById("engine-panel").style.display = "";
+      const fmtNs = ns => ns < 1e3 ? ns + "ns" : ns < 1e6 ? (ns/1e3).toFixed(1) + "µs"
+                        : ns < 1e9 ? (ns/1e6).toFixed(2) + "ms" : (ns/1e9).toFixed(3) + "s";
+      // Handler timing is sampled in the kernel: extrapolate each
+      // label's wall-clock as (sampled mean) x (total fires).
+      const wallEst = l => l.wall_sampled > 0 ? l.wall_ns/l.wall_sampled*l.fired : 0;
+      const totalWall = labels.reduce((s, l) => s + wallEst(l), 0);
+      const totalFired = labels.reduce((s, l) => s + l.fired, 0);
+      const depth = rep.depth || [];
+      const peak = Math.max(0, ...depth.map(p => p.depth));
+      document.getElementById("engine-summary").textContent =
+        totalFired + " events fired · " + labels.reduce((s, l) => s + l.cancelled, 0) +
+        " cancelled · ~" + fmtNs(totalWall) + " handler wall-clock (sampled) · peak queue depth " + peak;
+      document.getElementById("engine-labels").innerHTML =
+        "<tr><th>label</th><th>wall%</th><th>wall</th><th>fired</th><th>cancelled</th>" +
+        "<th>mean</th><th>max</th><th>dwell(mean)</th></tr>" +
+        labels.slice(0, 10).map(l => {
+          const est = wallEst(l);
+          const share = totalWall > 0 ? (100*est/totalWall).toFixed(1) : "0.0";
+          const mean = l.wall_sampled > 0 ? l.wall_ns/l.wall_sampled : 0;
+          const dwell = l.fired > 0 ? l.dwell_sum_s/l.fired : 0;
+          return "<tr><td>" + l.label + '</td><td><span class="bar" style="width:' +
+            Math.round(share) + 'px"></span> ' + share + "%</td><td>" + fmtNs(est) +
+            "</td><td>" + l.fired + "</td><td>" + l.cancelled + "</td><td>" + fmtNs(mean) +
+            "</td><td>" + fmtNs(l.wall_max_ns) + "</td><td>" + hhmm(dwell) + "</td></tr>";
+        }).join("");
+      const shades = [" ", "░", "▒", "▓", "█"];
+      const cells = depth.slice(-120).map(p => {
+        if (peak <= 0) return shades[0];
+        let k = Math.round(p.depth / peak * (shades.length - 1));
+        if (p.depth > 0 && k === 0) k = 1;
+        return shades[k];
+      }).join("");
+      document.getElementById("engine-depth").textContent =
+        depth.length === 0 ? "" : "queue depth |" + cells + "| peak " + peak;
+      stamp("engine", simNow, simDay, true);
+    }
+  } catch (e) { stamp("engine", simNow, simDay, false); }
 }
 refresh();
 setInterval(refresh, REFRESH_MS);

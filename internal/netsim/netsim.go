@@ -112,7 +112,8 @@ type Rsync struct {
 	sent     map[string]int64 // bytes delivered to dst per path
 	inflight map[string]bool
 	observer Observer
-	timer    *sim.Timer
+	sched    sim.Scope // scan timers, labeled "netsim" for the kernel profiler
+	timer    sim.Timer
 	stopped  bool
 }
 
@@ -125,6 +126,7 @@ func NewRsync(eng *sim.Engine, src, dst *vfs.FS, link *Link, interval float64, r
 	}
 	return &Rsync{
 		eng:      eng,
+		sched:    eng.Scope("netsim"),
 		src:      src,
 		dst:      dst,
 		link:     link,
@@ -139,19 +141,17 @@ func NewRsync(eng *sim.Engine, src, dst *vfs.FS, link *Link, interval float64, r
 // Start begins periodic scanning. The first scan happens one interval from
 // now (rsync in the factory is started alongside the run scripts).
 func (r *Rsync) Start() {
-	if r.timer != nil || r.stopped {
+	if r.timer.Active() || r.stopped {
 		return
 	}
-	r.timer = r.eng.After(r.interval, r.tick)
+	r.timer = r.sched.After(r.interval, r.tick)
 }
 
 // Stop halts future scans. In-flight transfers complete normally.
 func (r *Rsync) Stop() {
 	r.stopped = true
-	if r.timer != nil {
-		r.timer.Cancel()
-		r.timer = nil
-	}
+	r.timer.Cancel()
+	r.timer = sim.Timer{}
 }
 
 // Delivered returns the number of bytes delivered to the destination for
@@ -186,10 +186,10 @@ func (r *Rsync) eachSourceFile(fn func(info vfs.FileInfo)) {
 
 // tick runs one scan and reschedules.
 func (r *Rsync) tick() {
-	r.timer = nil
+	r.timer = sim.Timer{}
 	r.scan()
 	if !r.stopped {
-		r.timer = r.eng.After(r.interval, r.tick)
+		r.timer = r.sched.After(r.interval, r.tick)
 	}
 }
 

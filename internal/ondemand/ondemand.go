@@ -235,6 +235,7 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	eng := sim.NewEngine()
+	sched := eng.Scope("ondemand")
 	cl := cluster.New(eng)
 	nodeInfo := make(map[string]core.NodeInfo, len(cfg.Nodes))
 	for _, n := range cfg.Nodes {
@@ -252,7 +253,7 @@ func Run(cfg Config) (Result, error) {
 	stockDone := 0
 	for _, r := range cfg.Stock {
 		r := r
-		eng.At(r.Start, func() {
+		sched.At(r.Start, func() {
 			node := cl.Node(cfg.Assign[r.Name])
 			stockJobs[r.Name] = node.Submit("stock:"+r.Name, r.Work, func() {
 				res.StockCompletion[r.Name] = eng.Now()
@@ -342,7 +343,7 @@ func Run(cfg Config) (Result, error) {
 	for i, req := range reqs {
 		i, req := i, req
 		results[i] = &RequestResult{Request: req, Completed: math.NaN()}
-		eng.At(req.Arrival, func() {
+		sched.At(req.Arrival, func() {
 			node, outcome := cfg.Policy.Decide(req, currentState())
 			results[i].Outcome = outcome
 			switch outcome {
@@ -362,10 +363,10 @@ func Run(cfg Config) (Result, error) {
 	nightShift = func() {
 		drainDeferred()
 		if (len(deferred) > 0 || stockDone < len(cfg.Stock)) && eng.Now() < horizon {
-			eng.After(300, nightShift)
+			sched.After(300, nightShift)
 		}
 	}
-	eng.After(300, nightShift)
+	sched.After(300, nightShift)
 
 	eng.Run()
 

@@ -24,6 +24,7 @@ import (
 // Resource is a fair-share resource. Create one with NewResource.
 type Resource struct {
 	eng      *sim.Engine
+	sched    sim.Scope // completion events, labeled "ps" for the kernel profiler
 	name     string
 	capacity float64
 	taskCap  float64
@@ -49,6 +50,7 @@ func NewResource(eng *sim.Engine, name string, capacity, taskCap float64) *Resou
 	}
 	return &Resource{
 		eng:      eng,
+		sched:    eng.Scope("ps"),
 		name:     name,
 		capacity: capacity,
 		taskCap:  taskCap,
@@ -115,7 +117,7 @@ type Task struct {
 	rate      float64
 	cap       float64 // per-task rate cap (default: the resource's)
 	settled   float64 // virtual time remaining was last brought up to date
-	timer     *sim.Timer
+	timer     sim.Timer
 	done      func()
 	label     string
 	started   float64
@@ -212,7 +214,7 @@ func (t *Task) Cancel() {
 	r.settleAll()
 	t.cancelled = true
 	t.timer.Cancel()
-	t.timer = nil
+	t.timer = sim.Timer{}
 	delete(r.tasks, t)
 	r.retimeAll()
 }
@@ -309,13 +311,13 @@ func (r *Resource) retimeAll() {
 	}
 	for _, t := range tasks {
 		t.timer.Cancel()
-		t.timer = nil
+		t.timer = sim.Timer{}
 		if t.rate <= 0 {
 			continue // frozen: no completion until thawed
 		}
 		eta := now + t.remaining/t.rate
 		tt := t
-		t.timer = r.eng.At(eta, func() { r.complete(tt) })
+		t.timer = r.sched.At(eta, func() { r.complete(tt) })
 	}
 }
 
@@ -324,7 +326,7 @@ func (r *Resource) complete(t *Task) {
 	r.settleAll()
 	t.finished = true
 	t.remaining = 0
-	t.timer = nil
+	t.timer = sim.Timer{}
 	delete(r.tasks, t)
 	r.retimeAll()
 	if t.done != nil {

@@ -5,15 +5,52 @@
 // delivered in the order they were scheduled, which makes every simulation
 // in this repository bit-reproducible: there is no wall-clock time, no
 // goroutine scheduling, and no randomness inside the kernel.
+//
+// Scheduling is labeled: every subsystem obtains a Scope (Engine.Scope)
+// and schedules through it, so a kernel profiler (internal/engineprof,
+// attached via SetProbe) can attribute event counts, handler wall-clock
+// cost, and schedule→fire dwell to the subsystem that created each event.
+// The plain At/After methods remain for one-off callers and tag their
+// events "untagged" — a labeled campaign should have none.
+//
+// Event structures are pooled on a free list: a fired or cancelled event
+// is recycled into the next schedule call, so a steady-state simulation
+// allocates nothing per event beyond the caller's closure. Timer handles
+// stay safe across recycling through a generation counter — a handle to a
+// fired event never aliases the event's next life.
 package sim
 
 import (
 	"container/heap"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/telemetry"
 )
+
+// Untagged is the label attached to events scheduled through the plain
+// At/After methods rather than a named Scope.
+const Untagged = "untagged"
+
+// Probe observes the kernel's event lifecycle. Attach one with SetProbe;
+// the engine calls it synchronously on the simulation goroutine, so
+// implementations decide their own locking if they are read concurrently.
+// With no probe attached the event path pays a single nil check.
+type Probe interface {
+	// EventScheduled fires after an event enters the queue. pending is
+	// the queue depth including the new event.
+	EventScheduled(label string, now, when float64, pending int)
+	// EventFired fires after an event's handler returns. born is the sim
+	// time the event was scheduled (when-born = sim-time dwell), wall is
+	// the handler's wall-clock cost, pending the queue depth at the
+	// moment the event was popped (before the handler scheduled more).
+	// Handler timing is sampled: wall is negative for fires whose
+	// handler was not timed (see SetProbeSampling); counts stay exact.
+	EventFired(label string, born, when float64, wall time.Duration, pending int)
+	// EventCancelled fires after a pending event is removed by Cancel.
+	EventCancelled(label string, born, when, now float64, pending int)
+}
 
 // Engine is a discrete-event simulator. The zero value is not usable; create
 // one with NewEngine.
@@ -21,10 +58,20 @@ type Engine struct {
 	now     float64
 	seq     int64
 	queue   eventQueue
+	free    []*event // recycled events; see Timer for the aliasing guard
 	running bool
 	stopped bool
 
 	fired int64 // events delivered since creation
+
+	probe Probe
+	// probeEvery samples handler wall-clock timing: every probeEvery-th
+	// fire is timed (reading the clock twice per event costs more than
+	// the rest of the attached path on machines with a slow clocksource,
+	// so exact per-event timing would blow the profiler's overhead
+	// budget). probeTick counts down to the next timed fire.
+	probeEvery int
+	probeTick  int
 
 	// Optional telemetry handles, resolved once by Instrument so the
 	// per-event cost is a few nil-safe atomic operations.
@@ -44,6 +91,35 @@ func (e *Engine) Now() float64 { return e.now }
 
 // EventsFired returns the number of events delivered since creation.
 func (e *Engine) EventsFired() int64 { return e.fired }
+
+// DefaultProbeSampleEvery is the default handler-timing sampling
+// interval: one timed handler per this many fires.
+const DefaultProbeSampleEvery = 16
+
+// SetProbe attaches a kernel probe (nil detaches). The probe sees every
+// schedule, fire, and cancel from this point on. Handler wall-clock
+// timing is only measured while a probe is attached, and only on a
+// sampled subset of fires (DefaultProbeSampleEvery; tune with
+// SetProbeSampling) — untimed fires report a negative wall duration.
+func (e *Engine) SetProbe(p Probe) {
+	e.probe = p
+	if e.probeEvery == 0 {
+		e.probeEvery = DefaultProbeSampleEvery
+	}
+	e.probeTick = 0 // the next fire is timed
+}
+
+// SetProbeSampling times one handler per every n fires (n >= 1; 1 times
+// every handler, at a measurable cost on machines where reading the
+// clock is slow). Sampling is unbiased across labels: each label's
+// handlers are timed in proportion to how often they fire.
+func (e *Engine) SetProbeSampling(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.probeEvery = n
+	e.probeTick = 0
+}
 
 // Instrument registers the engine's kernel metrics with a registry:
 // sim_events_fired_total counts delivered events, sim_clock_seconds
@@ -76,46 +152,138 @@ func (e *Engine) ObserveReplayLag(expected float64) {
 	e.mLag.Set(expected - e.now)
 }
 
-// Timer is a handle to a scheduled event. It can be cancelled before it
-// fires; cancelling a fired or already-cancelled timer is a no-op.
-type Timer struct {
+// event is the pooled kernel record behind a Timer handle. After it fires
+// or is cancelled its generation is bumped and the struct returns to the
+// engine's free list for the next schedule call.
+type event struct {
 	when  float64
+	born  float64 // sim time the event was scheduled
 	seq   int64
 	index int // index in the heap, -1 once fired or cancelled
+	gen   uint64
+	label string
 	fn    func()
 	owner *Engine
 }
 
-// When returns the virtual time the timer is scheduled to fire at.
-func (t *Timer) When() float64 { return t.when }
+// Timer is a handle to a scheduled event. The zero Timer is inert: Active
+// reports false, Cancel is a no-op, When returns 0.
+//
+// Handles stay valid after the event fires or is cancelled even though
+// the underlying event struct is recycled into later schedules: the
+// handle carries the event's generation and its scheduled time, so
+// Cancel/Active on a stale handle see the generation mismatch and report
+// false instead of touching the event's next life, and When keeps
+// answering with the original scheduled time.
+type Timer struct {
+	ev   *event
+	gen  uint64
+	when float64
+}
+
+// When returns the virtual time the timer was scheduled to fire at. It
+// keeps answering after the timer fires or is cancelled.
+func (t Timer) When() float64 { return t.when }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.index >= 0 }
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.gen == t.gen && t.ev.index >= 0
+}
 
-// Cancel removes the timer from the event queue. It is safe to call on a
-// timer that has already fired or been cancelled, and on a nil timer.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.index < 0 {
+// Cancel removes the timer from the event queue, reporting whether it was
+// still pending. It is safe on a fired, cancelled, or zero Timer: those
+// report false and touch nothing (a fired event's struct may already be
+// serving a different, live event).
+func (t Timer) Cancel() bool {
+	ev := t.ev
+	if ev == nil || ev.gen != t.gen || ev.index < 0 {
 		return false
 	}
-	t.engineRemove()
+	e := ev.owner
+	heap.Remove(&e.queue, ev.index)
+	if e.probe != nil {
+		e.probe.EventCancelled(ev.label, ev.born, ev.when, e.now, len(e.queue))
+	}
+	e.recycle(ev)
+	e.mPending.Set(float64(len(e.queue)))
 	return true
 }
 
-// engineRemove is set up when the timer is scheduled; see Engine.At.
-func (t *Timer) engineRemove() {
-	if t.owner != nil {
-		heap.Remove(&t.owner.queue, t.index)
-		t.index = -1
-		t.fn = nil
-	}
+// recycle retires an event (fired or cancelled) onto the free list. The
+// generation bump invalidates every outstanding Timer handle to this
+// life of the struct.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.label = ""
+	ev.index = -1
+	e.free = append(e.free, ev)
 }
 
-// At schedules fn to run at absolute virtual time when. Scheduling in the
-// past (before Now) panics, because it would silently corrupt causality.
-// Scheduling exactly at Now is allowed and fires after all currently queued
-// events for this instant that were scheduled earlier.
-func (e *Engine) At(when float64, fn func()) *Timer {
+// Scope is a labeled scheduler over an engine. Every subsystem that
+// schedules events creates one (Engine.Scope) and schedules through it,
+// so the kernel profiler can attribute cost per subsystem. The zero
+// Scope is not usable. Scopes are values: copying is free, and any number
+// may share a label.
+type Scope struct {
+	e     *Engine
+	label string
+}
+
+// Scope returns a labeled scheduler. An empty name falls back to the
+// untagged scope.
+func (e *Engine) Scope(name string) Scope {
+	if name == "" {
+		name = Untagged
+	}
+	return Scope{e: e, label: name}
+}
+
+// Label returns the scope's label.
+func (s Scope) Label() string { return s.label }
+
+// Engine returns the underlying engine.
+func (s Scope) Engine() *Engine { return s.e }
+
+// Now returns the engine's current virtual time.
+func (s Scope) Now() float64 { return s.e.now }
+
+// At schedules fn at absolute virtual time when, tagged with the scope's
+// label. The same rules as Engine.At apply.
+func (s Scope) At(when float64, fn func()) Timer {
+	return s.e.schedule(s.label, when, fn)
+}
+
+// After schedules fn d seconds from now, tagged with the scope's label.
+// Negative d panics.
+func (s Scope) After(d float64, fn func()) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After called with negative delay %v", d))
+	}
+	return s.e.schedule(s.label, s.e.now+d, fn)
+}
+
+// At schedules fn to run at absolute virtual time when, in the untagged
+// scope. Scheduling in the past (before Now) panics, because it would
+// silently corrupt causality. Scheduling exactly at Now is allowed and
+// fires after all currently queued events for this instant that were
+// scheduled earlier.
+func (e *Engine) At(when float64, fn func()) Timer {
+	return e.schedule(Untagged, when, fn)
+}
+
+// After schedules fn to run d seconds from now, in the untagged scope.
+// Negative d panics.
+func (e *Engine) After(d float64, fn func()) Timer {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After called with negative delay %v", d))
+	}
+	return e.schedule(Untagged, e.now+d, fn)
+}
+
+// schedule enqueues one event, reusing a recycled event struct when the
+// free list has one.
+func (e *Engine) schedule(label string, when float64, fn func()) Timer {
 	if fn == nil {
 		panic("sim: At called with nil function")
 	}
@@ -126,18 +294,21 @@ func (e *Engine) At(when float64, fn func()) *Timer {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", when, e.now))
 	}
 	e.seq++
-	t := &Timer{when: when, seq: e.seq, fn: fn, owner: e}
-	heap.Push(&e.queue, t)
-	e.mPending.Set(float64(len(e.queue)))
-	return t
-}
-
-// After schedules fn to run d seconds from now. Negative d panics.
-func (e *Engine) After(d float64, fn func()) *Timer {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: After called with negative delay %v", d))
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{owner: e}
 	}
-	return e.At(e.now+d, fn)
+	ev.when, ev.born, ev.seq, ev.label, ev.fn = when, e.now, e.seq, label, fn
+	heap.Push(&e.queue, ev)
+	e.mPending.Set(float64(len(e.queue)))
+	if e.probe != nil {
+		e.probe.EventScheduled(label, e.now, when, len(e.queue))
+	}
+	return Timer{ev: ev, gen: ev.gen, when: when}
 }
 
 // Pending returns the number of events waiting in the queue.
@@ -162,16 +333,33 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	t := heap.Pop(&e.queue).(*Timer)
-	t.index = -1
-	e.now = t.when
+	ev := heap.Pop(&e.queue).(*event)
+	e.now = ev.when
 	e.fired++
+	fn, label, born, when := ev.fn, ev.label, ev.born, ev.when
+	// Recycle before running the handler: the handler's own scheduling
+	// reuses this struct while it is still hot in cache, and the
+	// generation bump has already invalidated stale handles.
+	e.recycle(ev)
 	e.mEvents.Inc()
 	e.mClock.Set(e.now)
 	e.mPending.Set(float64(len(e.queue)))
-	fn := t.fn
-	t.fn = nil
-	fn()
+	if p := e.probe; p != nil {
+		pending := len(e.queue)
+		wall := time.Duration(-1)
+		if e.probeTick <= 0 {
+			e.probeTick = e.probeEvery
+			t0 := time.Now()
+			fn()
+			wall = time.Since(t0)
+		} else {
+			fn()
+		}
+		e.probeTick--
+		p.EventFired(label, born, when, wall, pending)
+	} else {
+		fn()
+	}
 	return true
 }
 
@@ -210,7 +398,7 @@ func (e *Engine) RunUntil(deadline float64) float64 {
 }
 
 // eventQueue is a min-heap ordered by (when, seq).
-type eventQueue []*Timer
+type eventQueue []*event
 
 func (q eventQueue) Len() int { return len(q) }
 
@@ -228,16 +416,16 @@ func (q eventQueue) Swap(i, j int) {
 }
 
 func (q *eventQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
 }
 
 func (q *eventQueue) Pop() any {
 	old := *q
 	n := len(old)
-	t := old[n-1]
+	ev := old[n-1]
 	old[n-1] = nil
 	*q = old[:n-1]
-	return t
+	return ev
 }

@@ -121,13 +121,16 @@ func TestTimerWhen(t *testing.T) {
 	e.Run()
 }
 
-func TestCancelNilTimer(t *testing.T) {
-	var timer *Timer
+func TestZeroTimerIsInert(t *testing.T) {
+	var timer Timer
 	if timer.Cancel() {
-		t.Fatal("Cancel on nil timer should report false")
+		t.Fatal("Cancel on zero timer should report false")
 	}
 	if timer.Active() {
-		t.Fatal("nil timer should not be active")
+		t.Fatal("zero timer should not be active")
+	}
+	if timer.When() != 0 {
+		t.Fatalf("When() on zero timer = %v, want 0", timer.When())
 	}
 }
 

@@ -338,14 +338,15 @@ func (s *Sampler) Start(horizon float64) {
 		}
 		s.mu.Unlock()
 	}
+	sched := s.eng.Scope("usage")
 	var tick func()
 	tick = func() {
 		s.Tick()
 		if s.eng.Now()+interval <= horizon {
-			s.eng.After(interval, tick)
+			sched.After(interval, tick)
 		}
 	}
-	s.eng.After(interval, tick)
+	sched.After(interval, tick)
 }
 
 // Tick advances every node's timeline to the current virtual time.

@@ -46,11 +46,12 @@ type ProductConfig struct {
 type ProductEngine struct {
 	cfg       ProductConfig
 	eng       *sim.Engine
+	sched     sim.Scope // poll timers, labeled "workflow" for the kernel profiler
 	products  []*productState
 	byName    map[string]*productState
 	active    int
 	rrCursor  int
-	pollTimer *sim.Timer
+	pollTimer sim.Timer
 	finished  bool
 	aborted   bool
 	endTime   float64
@@ -83,6 +84,7 @@ func StartProducts(eng *sim.Engine, cfg ProductConfig) *ProductEngine {
 	p := &ProductEngine{
 		cfg:    cfg,
 		eng:    eng,
+		sched:  eng.Scope("workflow"),
 		byName: make(map[string]*productState, len(cfg.Products)),
 	}
 	reg := cfg.Telemetry.Registry()
@@ -115,7 +117,7 @@ func StartProducts(eng *sim.Engine, cfg ProductConfig) *ProductEngine {
 		p.finish()
 		return p
 	}
-	p.pollTimer = eng.After(cfg.Poll, p.poll)
+	p.pollTimer = p.sched.After(cfg.Poll, p.poll)
 	return p
 }
 
@@ -131,9 +133,9 @@ func (p *ProductEngine) Abort() {
 		return
 	}
 	p.aborted = true
-	if p.pollTimer != nil {
+	if p.pollTimer.Active() {
 		p.pollTimer.Cancel()
-		p.pollTimer = nil
+		p.pollTimer = sim.Timer{}
 	}
 }
 
@@ -196,7 +198,7 @@ func (p *ProductEngine) availableFraction(st *productState) float64 {
 }
 
 func (p *ProductEngine) poll() {
-	p.pollTimer = nil
+	p.pollTimer = sim.Timer{}
 	if p.aborted || p.finished {
 		return
 	}
@@ -204,7 +206,7 @@ func (p *ProductEngine) poll() {
 	p.dispatch()
 	p.updateQueueDepth()
 	if !p.finished && !p.aborted {
-		p.pollTimer = p.eng.After(p.cfg.Poll, p.poll)
+		p.pollTimer = p.sched.After(p.cfg.Poll, p.poll)
 	}
 }
 
@@ -325,9 +327,9 @@ func (p *ProductEngine) checkDone() {
 func (p *ProductEngine) finish() {
 	p.finished = true
 	p.endTime = p.eng.Now()
-	if p.pollTimer != nil {
+	if p.pollTimer.Active() {
 		p.pollTimer.Cancel()
-		p.pollTimer = nil
+		p.pollTimer = sim.Timer{}
 	}
 	if p.cfg.OnDone != nil {
 		p.cfg.OnDone()
