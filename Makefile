@@ -39,15 +39,19 @@ check: test vet race
 # simulation kernel's events/sec trajectory (BENCH_sim.json: replay
 # throughput with the kernel profiler detached and attached, < 5%
 # profiler overhead, and a ≥ 80%-of-baseline throughput gate against
-# the committed BENCH_sim_baseline.json).
+# the committed BENCH_sim_baseline.json), and the public serving edge's
+# storm scenario (BENCH_serving.json: ≥ 1M simulated user requests
+# through the cache/coalesce/shed path with a late forecast and a flash
+# crowd, gating on zero made-to-stock deadlines displaced).
 bench:
-	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/core ./internal/engineprof ./internal/forensics ./internal/harvest ./internal/spc ./internal/usage
+	$(GO) test -bench . -benchtime 1x -run xxx . ./internal/core ./internal/engineprof ./internal/forensics ./internal/harvest ./internal/serving ./internal/spc ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_harvest.json $(GO) test -run TestEmitBenchReport -v ./internal/harvest
 	BENCH_OUT=$(CURDIR)/BENCH_usage.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/usage
 	BENCH_OUT=$(CURDIR)/BENCH_planner.json $(GO) test -count=1 -run TestEmitPlannerBenchReport -v ./internal/core
 	BENCH_OUT=$(CURDIR)/BENCH_forensics.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/forensics
 	BENCH_OUT=$(CURDIR)/BENCH_spc.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/spc
 	BENCH_OUT=$(CURDIR)/BENCH_sim.json BENCH_BASELINE=$(CURDIR)/BENCH_sim_baseline.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/engineprof
+	BENCH_OUT=$(CURDIR)/BENCH_serving.json $(GO) test -count=1 -run TestEmitBenchReport -v ./internal/serving
 
 clean:
 	$(GO) clean ./...

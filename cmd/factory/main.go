@@ -20,13 +20,23 @@
 // heatmap panel, and saturation/imbalance/drift alerts. -pprof mounts
 // Go profiling endpoints on the control-room server.
 //
+// With -serving-users the campaign's products go public: a serving edge
+// (TTL cache keyed product+cycle, request coalescing, deadline-aware
+// load shedding) runs on an added public-server node, every completed
+// run publishes its forecast's products to it, and a diurnal crowd of
+// that many simulated users hits the edge for the whole campaign. The
+// end-of-campaign report shows hit rate, staleness-at-delivery
+// percentiles, the per-product breakdown, and the demand-feedback
+// priority table; with -monitor-addr the dashboard gains the live
+// serving panel (/api/serving).
+//
 // Usage:
 //
 //	factory [-scenario fig8|fig9|growth] [-config file.json] [-forecast name]
 //	        [-days n] [-snapshot hours] [-metrics-out file] [-trace-out file]
 //	        [-monitor-addr host:port] [-replay-rate simsec-per-sec]
 //	        [-harvest-interval hours] [-runs-dir dir]
-//	        [-usage-interval minutes] [-pprof]
+//	        [-usage-interval minutes] [-pprof] [-serving-users n]
 package main
 
 import (
@@ -48,6 +58,7 @@ import (
 	"repro/internal/logs"
 	"repro/internal/monitor"
 	"repro/internal/plot"
+	"repro/internal/serving"
 	"repro/internal/spc"
 	"repro/internal/statsdb"
 	"repro/internal/telemetry"
@@ -69,6 +80,7 @@ func main() {
 	usageInterval := flag.Float64("usage-interval", 0, "sample per-node CPU shares into the utilization timeline every this many sim-minutes (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "mount Go profiling endpoints under /debug/pprof/ on the control-room server")
 	engineProf := flag.Bool("engineprof", false, "attach the kernel profiler and print the per-label hotspot summary at campaign end (implied by -monitor-addr, which serves the live report at /api/engine)")
+	servingUsers := flag.Int("serving-users", 0, "serve the campaign's products from a public edge (TTL cache, coalescing, load shedding) to this many simulated users on an added public-server node (0 = off)")
 	flag.Parse()
 
 	var cfg factory.Config
@@ -197,6 +209,46 @@ func main() {
 		samp.Start(c.Horizon())
 	}
 
+	// Public serving edge: the campaign's products go public on a
+	// dedicated server node. Each completed run publishes its forecast's
+	// products (run-log hook → PublishForecast), invalidating the cached
+	// copies of the previous cycle, while the load generator replays the
+	// user crowd against the edge for the whole campaign.
+	var edge *serving.Edge
+	var servingBase map[string]int
+	if *servingUsers > 0 {
+		pub := c.Cluster().AddNode("public-server", 2, 1)
+		servingBase = make(map[string]int, len(cfg.Forecasts))
+		for _, a := range cfg.Forecasts {
+			servingBase[a.Spec.Name] = a.Spec.Priority
+		}
+		scfg := serving.Config{
+			Engine:   c.Engine(),
+			Server:   pub,
+			Products: serving.DefaultProducts(servingBase),
+		}
+		if tel != nil {
+			scfg.Telemetry = tel.Registry()
+		}
+		edge, err = serving.New(scfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		c.AddRunLogHook(func(r *logs.RunRecord) {
+			if r.End <= 0 {
+				return
+			}
+			edge.PublishForecast(r.Forecast, r.Day-c.StartDay(), r.End)
+		})
+		gen, err := serving.NewGenerator(edge, serving.LoadConfig{Users: *servingUsers})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gen.Start(c.Horizon())
+	}
+
 	// Control room: attach the monitor before the campaign runs, serve it
 	// from a wall-clock goroutine while the simulation replays.
 	var mon *monitor.Monitor
@@ -298,6 +350,11 @@ func main() {
 		// The engine panel reads the profiler's live snapshot on the same
 		// refresh interval as every other panel.
 		srv.AttachEngine(func() any { return kprof.Report() })
+		if edge != nil {
+			// The serving panel tracks the public edge live: hit rate,
+			// shed fractions, and staleness percentiles as of the replay.
+			srv.AttachServing(func() any { return edge.Stats() })
+		}
 		if *pprofOn {
 			srv.EnablePprof()
 		}
@@ -448,6 +505,25 @@ func main() {
 			st.Passes, st.Totals.Ingested, st.Totals.Updated, st.Totals.WatermarkHits, st.Totals.Quarantined)
 		for _, q := range st.Quarantine {
 			fmt.Printf("  quarantined: %s (%s)\n", q.Path, q.Error)
+		}
+	}
+
+	if edge != nil {
+		st := edge.Stats()
+		fmt.Println("\npublic serving edge:")
+		fmt.Print(serving.SummaryTable(st))
+		fmt.Println()
+		fmt.Print(serving.ProductTable(st, 10))
+		// The demand feedback loop: the crowd the edge observed, ranked
+		// against the specs' configured priorities — the next planning
+		// cycle's priority boost for storm-hit forecasts.
+		fmt.Println()
+		fmt.Print(serving.DemandTable(servingBase, edge.ForecastDemand()))
+		if err := serving.LoadReport(statsDB, st); err != nil {
+			fmt.Fprintln(os.Stderr, "serving:", err)
+		} else {
+			fmt.Printf("serving_stats table: %d products (schema v%d)\n",
+				len(st.Products), statsdb.SchemaVersion(statsDB))
 		}
 	}
 

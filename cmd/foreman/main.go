@@ -15,7 +15,7 @@
 //	foreman [-heuristic stay-put|ffd|bfd|wfd] [-fail node] [-policy minimal|reshuffle]
 //	        [-move run=node] [-scripts] [-hindcast n] [-sql query] [-now hour]
 //	        [-slo] [-metrics-out file] [-trace-out file]
-//	        [-harvest dir] [-provenance code-version] [-utilization]
+//	        [-harvest dir] [-provenance code-version] [-utilization] [-serving]
 //
 // -utilization replays today's plan on a simulated plant with each run
 // carrying its spec's true work: the usage sampler records per-node
@@ -24,6 +24,15 @@
 // against ForeMan's prediction. Timelines land in the node_usage table
 // and drift records in the drift table (schema v3), both queryable in a
 // later -sql invocation's database when combined with -harvest trees.
+//
+// -serving exercises the public product-serving edge: a two-day
+// synthetic crowd (diurnal cycle plus a flash crowd on the plant's
+// highest-priority region, with the day-1 forecast deliberately late)
+// hits a TTL cache with request coalescing and deadline-aware load
+// shedding. The report shows hit rate, staleness-at-delivery
+// percentiles, shed fractions by tier, the per-product breakdown, and
+// the demand-feedback priority table; results persist to the
+// serving_stats table (schema v7) for a same-invocation -sql query.
 //
 // The -sql flag accepts the statsdb SELECT subset, including JOINs against
 // the nodes table and EXPLAIN; the bootstrap campaign's trace spans are
@@ -65,6 +74,7 @@ import (
 	"repro/internal/logs"
 	"repro/internal/monitor"
 	"repro/internal/plot"
+	"repro/internal/serving"
 	"repro/internal/sim"
 	"repro/internal/spc"
 	"repro/internal/statsdb"
@@ -129,6 +139,7 @@ func main() {
 	blameFlag := flag.String("blame", "", "print the lateness-blame forensics report for this forecast (\"all\" for every forecast) from the bootstrap campaign")
 	spcFlag := flag.String("spc", "", "print the SPC control-chart report (run rules, changepoints) for this forecast (\"all\" for every series) from the bootstrap campaign")
 	engineProfFlag := flag.Bool("engineprof", false, "attach the kernel profiler to the bootstrap campaign (and the -utilization replay) and print the per-label hotspot report with the queue-depth chart")
+	servingFlag := flag.Bool("serving", false, "run the public product-serving edge against a two-day synthetic crowd (diurnal load plus a flash crowd, late day-1 forecast), print the serving-quality and demand-feedback report, and persist the serving_stats table")
 	pprofOut := flag.String("pprof", "", "write a CPU profile covering this invocation's replay paths to this file (batch-mode mirror of the factory's /debug/pprof endpoints)")
 	flag.Parse()
 
@@ -302,6 +313,12 @@ func main() {
 
 	if kprof != nil {
 		engineprofReport(db, kprof)
+	}
+
+	// Before the -sql early return, so `-serving -sql` can query the
+	// freshly loaded serving_stats table.
+	if *servingFlag {
+		servingReport(db, specs)
 	}
 
 	if *provenanceFlag != "" {
@@ -820,6 +837,65 @@ func spcReport(db *statsdb.DB, campaign *factory.Campaign, mon *monitor.Monitor,
 		if a.Rule == "out_of_control" || a.Rule == "changepoint" {
 			fmt.Printf("\nALERT %s %s: %s\n", a.Severity, a.Rule, a.Message)
 		}
+	}
+}
+
+// servingReport runs the public product-serving edge against a synthetic
+// two-day crowd — diurnal load, a flash crowd on the plant's
+// highest-priority region, and a deliberately late day-1 forecast — and
+// prints the serving-quality report. The edge's admission oracle reuses
+// the on-demand deadline policy, so the report also states whether any
+// made-to-stock deadline was displaced by render load, and the demand
+// table shows how the observed crowd would re-rank forecast priorities
+// for the next planning cycle.
+func servingReport(db *statsdb.DB, specs []*forecast.Spec) {
+	base := make(map[string]int, len(specs))
+	for _, s := range specs {
+		base[s.Region] = s.Priority
+	}
+	// The flash crowd hits the plant's highest-priority region.
+	stormRegion := ""
+	for r, p := range base {
+		if stormRegion == "" || p > base[stormRegion] ||
+			(p == base[stormRegion] && r < stormRegion) {
+			stormRegion = r
+		}
+	}
+	cfg := serving.ScenarioConfig{
+		Days:     2,
+		Users:    300000,
+		Products: serving.DefaultProducts(base),
+		LateDay:  1,
+		LateBy:   2 * 3600,
+		Load: serving.LoadConfig{
+			Storms: []serving.Storm{{
+				Start: 86400 + 7*3600, Duration: 5 * 3600, Multiplier: 6,
+				Forecast: stormRegion,
+			}},
+		},
+	}
+	res, err := serving.RunScenario(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := serving.LoadReport(db, res.Stats); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nproduct serving edge (schema v%d; table serving_stats): %d users over %d days, storm on %s, day-1 forecast %.0fh late\n",
+		statsdb.SchemaVersion(db), cfg.Users, cfg.Days, stormRegion, cfg.LateBy/3600)
+	fmt.Print(serving.SummaryTable(res.Stats))
+	fmt.Println()
+	fmt.Print(serving.ProductTable(res.Stats, 10))
+	fmt.Println()
+	fmt.Print(serving.DemandTable(base, res.Demand))
+	if len(res.StockLate) == 0 {
+		fmt.Printf("made-to-stock protection: all %d stock runs met their deadlines under render load\n",
+			len(res.StockCompletion))
+	} else {
+		fmt.Printf("made-to-stock runs displaced by render load: %s\n",
+			strings.Join(res.StockLate, ", "))
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 //	GET /api/forensics    the lateness-blame report (when attached)
 //	GET /api/spc          the SPC control-chart report (when attached)
 //	GET /api/engine       the kernel profiler's hotspot report (when attached)
+//	GET /api/serving      the product-serving edge's stats (when attached)
 //	GET /debug/pprof/     Go profiling endpoints (when EnablePprof)
 //
 // Handlers read monitor snapshots under its lock and never touch the
@@ -35,6 +36,7 @@ type Server struct {
 	forensicsFn func() any
 	spcFn       func() any
 	engineFn    func() any
+	servingFn   func() any
 	runtime     *telemetry.RuntimeCollector
 	pprofOn     bool
 }
@@ -80,6 +82,13 @@ func (s *Server) AttachSPC(fn func() any) { s.spcFn = fn }
 // requests.
 func (s *Server) AttachEngine(fn func() any) { s.engineFn = fn }
 
+// AttachServing wires the product-serving edge into the server: fn
+// (typically a closure over serving.Edge.Stats, whose snapshot is safe to
+// take while the simulation runs) backs GET /api/serving and the
+// dashboard's serving panel. Call before the server starts handling
+// requests.
+func (s *Server) AttachServing(fn func() any) { s.servingFn = fn }
+
 // EnablePprof mounts net/http/pprof under /debug/pprof/ on the next
 // Handler call — opt-in, because the profiler exposes stacks and heap
 // contents an operator console should not serve by default.
@@ -99,6 +108,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/forensics", s.handleForensics)
 	mux.HandleFunc("GET /api/spc", s.handleSPC)
 	mux.HandleFunc("GET /api/engine", s.handleEngine)
+	mux.HandleFunc("GET /api/serving", s.handleServing)
 	if s.pprofOn {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -172,6 +182,14 @@ func (s *Server) handleEngine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, s.engineFn())
+}
+
+func (s *Server) handleServing(w http.ResponseWriter, r *http.Request) {
+	if s.servingFn == nil {
+		http.Error(w, "no serving edge attached", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.servingFn())
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -251,6 +269,11 @@ td, th { padding: 2px 10px; border-bottom: 1px solid #333; text-align: left; }
 <div id="engine-summary" class="dim"></div>
 <table id="engine-labels"></table>
 <pre id="engine-depth" style="line-height:1.1"></pre>
+</div>
+<div id="serving-panel" style="display:none">
+<h2>product serving <span id="serving-asof" class="asof dim"></span></h2>
+<div id="serving-summary" class="dim"></div>
+<table id="serving-products"></table>
 </div>
 <script>
 // One shared refresh interval drives every panel, and each panel stamps
@@ -474,6 +497,33 @@ async function refresh() {
       stamp("engine", simNow, simDay, true);
     }
   } catch (e) { stamp("engine", simNow, simDay, false); }
+  try {
+    const resp = await fetch("api/serving");
+    if (resp.ok) {
+      const sv = await resp.json();
+      document.getElementById("serving-panel").style.display = "";
+      document.getElementById("serving-summary").textContent =
+        sv.requests + " requests · hit " + (100*(sv.hit_rate || 0)).toFixed(1) + "%" +
+        " · coalesced " + sv.coalesced + " · renders " + sv.renders +
+        " (" + sv.active_renders + " active, " + sv.queued_renders + " queued)" +
+        " · shed " + sv.shed + " (" + (100*(sv.shed_fraction || 0)).toFixed(2) + "%)" +
+        " · stale served " + sv.served_stale +
+        " · staleness p50 " + hhmm(sv.staleness_p50_seconds || 0) +
+        " p99 " + hhmm(sv.staleness_p99_seconds || 0);
+      const prods = (sv.products || []).slice().sort((a, b) => b.requests - a.requests);
+      document.getElementById("serving-products").innerHTML =
+        "<tr><th>product</th><th>forecast</th><th>requests</th><th>hit%</th>" +
+        "<th>renders</th><th>shed</th><th>rate/h</th><th>cycle</th></tr>" +
+        prods.slice(0, 12).map(p => {
+          const hit = p.requests > 0 ? (100*p.hits/p.requests).toFixed(1) : "0.0";
+          return "<tr><td>" + p.product + (p.hot ? ' <span class="warn">HOT</span>' : "") +
+            "</td><td>" + p.forecast + "</td><td>" + p.requests + "</td><td>" + hit +
+            "%</td><td>" + p.renders + "</td><td>" + (p.shed || 0) +
+            "</td><td>" + Math.round(p.demand_rate || 0) + "</td><td>" + p.cycle + "</td></tr>";
+        }).join("");
+      stamp("serving", simNow, simDay, true);
+    }
+  } catch (e) { stamp("serving", simNow, simDay, false); }
 }
 refresh();
 setInterval(refresh, REFRESH_MS);

@@ -139,11 +139,14 @@ func NewRsync(eng *sim.Engine, src, dst *vfs.FS, link *Link, interval float64, r
 }
 
 // Start begins periodic scanning. The first scan happens one interval from
-// now (rsync in the factory is started alongside the run scripts).
+// now (rsync in the factory is started alongside the run scripts). Start
+// after Stop re-arms the agent — the factory restarts rsync daemons
+// between campaigns.
 func (r *Rsync) Start() {
-	if r.timer.Active() || r.stopped {
+	if r.timer.Active() {
 		return
 	}
+	r.stopped = false
 	r.timer = r.sched.After(r.interval, r.tick)
 }
 

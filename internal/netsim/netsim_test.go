@@ -279,3 +279,36 @@ func TestRsyncOneInflightPerFile(t *testing.T) {
 	}
 	r.Stop()
 }
+
+// Regression: Start after Stop used to be a permanent no-op — the stopped
+// flag was never cleared, so a restarted rsync daemon silently mirrored
+// nothing for the rest of the campaign.
+func TestRsyncRestartAfterStop(t *testing.T) {
+	e, src, dst, l := newRsyncFixture(t)
+	if err := src.Append("/out/f", 1000); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRsync(e, src, dst, l, 10, []string{"/out"}, nil)
+	r.Start()
+	e.RunUntil(100)
+	if got := dst.Size("/out/f"); got != 1000 {
+		t.Fatalf("dst size before stop = %d, want 1000", got)
+	}
+
+	r.Stop()
+	e.At(110, func() { _ = src.Append("/out/f", 500) })
+	e.RunUntil(200)
+	if got := dst.Size("/out/f"); got != 1000 {
+		t.Fatalf("dst size grew to %d while stopped", got)
+	}
+
+	r.Start()
+	e.RunUntil(300)
+	if got := dst.Size("/out/f"); got != 1500 {
+		t.Fatalf("dst size after restart = %d, want 1500 — Start after Stop is a no-op", got)
+	}
+	if !r.Synced() {
+		t.Fatal("restarted rsync should report synced")
+	}
+	r.Stop()
+}

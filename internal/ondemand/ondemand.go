@@ -177,6 +177,14 @@ type RequestResult struct {
 // Latency is completion minus arrival (NaN if never ran).
 func (r RequestResult) Latency() float64 { return r.Completed - r.Request.Arrival }
 
+// Outage takes a node down mid-simulation and, when To > From, repairs
+// it again. Queued work on the node resumes at repair (cluster
+// semantics); the admission policy sees the live down state.
+type Outage struct {
+	Node     string
+	From, To float64
+}
+
 // Config describes an on-demand simulation: a plant, the day's
 // made-to-stock runs, the request stream, and the admission policy.
 type Config struct {
@@ -185,6 +193,7 @@ type Config struct {
 	Assign   map[string]string // stock assignment
 	Requests []Request
 	Policy   Policy
+	Outages  []Outage
 }
 
 // Result summarizes a simulated day.
@@ -245,6 +254,16 @@ func Run(cfg Config) (Result, error) {
 		}
 		nodeInfo[n.Name] = n
 	}
+	for _, o := range cfg.Outages {
+		if _, ok := nodeInfo[o.Node]; !ok {
+			return Result{}, fmt.Errorf("ondemand: outage for unknown node %q", o.Node)
+		}
+		node := cl.Node(o.Node)
+		sched.At(o.From, node.Fail)
+		if o.To > o.From {
+			sched.At(o.To, node.Repair)
+		}
+	}
 
 	res := Result{StockCompletion: make(map[string]float64, len(cfg.Stock))}
 
@@ -294,26 +313,42 @@ func Run(cfg Config) (Result, error) {
 		if stockDone < len(cfg.Stock) {
 			return
 		}
+		// Highest priority first; FIFO within a priority class.
+		sort.SliceStable(deferred, func(i, j int) bool {
+			return deferred[i].Request.Priority > deferred[j].Request.Priority
+		})
+		kept := deferred[:0]
 		for _, rr := range deferred {
 			if node := leastLoadedUp(); node != "" {
 				runRequest(rr, node)
+			} else {
+				// Every node is down: keep the request queued for the next
+				// night-shift poll instead of dropping it.
+				kept = append(kept, rr)
 			}
 		}
-		deferred = nil
+		deferred = kept
 	}
 
-	// currentState snapshots remaining stock work for the policy.
+	// currentState snapshots remaining stock work for the policy. Node
+	// infos carry the LIVE down state so mid-day outages are visible to
+	// the what-if oracle, not just the configured state at t=0.
 	currentState := func() *State {
 		now := eng.Now()
+		nodesNow := make([]core.NodeInfo, len(cfg.Nodes))
+		for i, n := range cfg.Nodes {
+			n.Down = cl.Node(n.Name).Down()
+			nodesNow[i] = n
+		}
 		st := &State{
 			Now:    now,
-			Nodes:  cfg.Nodes,
+			Nodes:  nodesNow,
 			Active: make(map[string]int, len(cfg.Nodes)),
 		}
 		for _, n := range cfg.Nodes {
 			st.Active[n.Name] = cl.Node(n.Name).Active()
 		}
-		stock := &core.Plan{Nodes: cfg.Nodes, Assign: map[string]string{}}
+		stock := &core.Plan{Nodes: nodesNow, Assign: map[string]string{}}
 		for _, r := range cfg.Stock {
 			job, running := stockJobs[r.Name]
 			if _, finished := res.StockCompletion[r.Name]; finished {
@@ -374,7 +409,14 @@ func Run(cfg Config) (Result, error) {
 		res.Requests = append(res.Requests, *rr)
 	}
 	for _, r := range cfg.Stock {
-		if r.Deadline > 0 && res.StockCompletion[r.Name] > r.Deadline {
+		if r.Deadline <= 0 {
+			continue
+		}
+		// A run that never completed (wedged on a down node until the
+		// horizon) is late too — the missing map entry must not read as
+		// completion at t=0.
+		completion, finished := res.StockCompletion[r.Name]
+		if !finished || completion > r.Deadline {
 			res.StockLate = append(res.StockLate, r.Name)
 		}
 	}

@@ -1,0 +1,155 @@
+// Synthetic public demand: a diurnal base curve plus storm-event flash
+// crowds. CORIE is coastal forecasting — the public hammers the site
+// exactly when a storm makes the runs slowest, so the generator lets a
+// flash crowd focus on one forecast's products.
+package serving
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Storm is a flash crowd: demand multiplies by Multiplier between Start
+// and Start+Duration. When Forecast is set the surge hits only that
+// forecast's products (everyone wants the storm region's plots).
+type Storm struct {
+	Start      float64
+	Duration   float64
+	Multiplier float64
+	Forecast   string
+}
+
+// LoadConfig describes the synthetic user population.
+type LoadConfig struct {
+	// Users is the simulated population size.
+	Users int
+	// RequestsPerUserDay is the mean daily request rate per user
+	// (default 2).
+	RequestsPerUserDay float64
+	// Step is the batching interval in seconds (default 60): one event
+	// per step issues the whole step's requests via ArriveN, so 1M+ users
+	// cost ~1440 events/day.
+	Step float64
+	// DiurnalAmplitude in [0,1) shapes the day curve (default 0.6);
+	// PeakHour is the local-time maximum (default 9).
+	DiurnalAmplitude float64
+	PeakHour         float64
+	Storms           []Storm
+	// Seed makes the jittered per-product split deterministic (default 1).
+	Seed int64
+}
+
+// Generator drives synthetic demand into an edge.
+type Generator struct {
+	edge  *Edge
+	cfg   LoadConfig
+	rng   *rand.Rand
+	total int64
+	// weights are cached per product, in catalog order.
+	names   []string
+	weights []float64
+	byFcst  map[string][]int // product indices per forecast
+	wsum    float64
+}
+
+// NewGenerator builds a generator over the edge's catalog.
+func NewGenerator(e *Edge, cfg LoadConfig) (*Generator, error) {
+	if cfg.Users <= 0 {
+		return nil, fmt.Errorf("serving: load needs Users > 0")
+	}
+	if cfg.RequestsPerUserDay <= 0 {
+		cfg.RequestsPerUserDay = 2
+	}
+	if cfg.Step <= 0 {
+		cfg.Step = 60
+	}
+	if cfg.DiurnalAmplitude < 0 || cfg.DiurnalAmplitude >= 1 {
+		return nil, fmt.Errorf("serving: diurnal amplitude must be in [0,1)")
+	}
+	if cfg.DiurnalAmplitude == 0 {
+		cfg.DiurnalAmplitude = 0.6
+	}
+	if cfg.PeakHour == 0 {
+		cfg.PeakHour = 9
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	g := &Generator{edge: e, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)),
+		byFcst: make(map[string][]int)}
+	for i, name := range e.order {
+		p := e.products[name].p
+		w := p.Weight
+		if w <= 0 {
+			w = 1
+		}
+		g.names = append(g.names, name)
+		g.weights = append(g.weights, w)
+		g.byFcst[p.Forecast] = append(g.byFcst[p.Forecast], i)
+		g.wsum += w
+	}
+	return g, nil
+}
+
+// diurnal is the day-shape factor at simulation time t.
+func (g *Generator) diurnal(t float64) float64 {
+	h := math.Mod(t/3600, 24)
+	return 1 + g.cfg.DiurnalAmplitude*math.Cos(2*math.Pi*(h-g.cfg.PeakHour)/24)
+}
+
+// Start schedules one batch event per step until the horizon.
+func (g *Generator) Start(until float64) {
+	sched := g.edge.cfg.Engine.Scope("load")
+	var step func()
+	step = func() {
+		g.emit(g.edge.cfg.Engine.Now())
+		if g.edge.cfg.Engine.Now()+g.cfg.Step <= until {
+			sched.After(g.cfg.Step, step)
+		}
+	}
+	sched.After(g.cfg.Step, step)
+}
+
+// emit issues one step's worth of requests, split over products by
+// weight with small multiplicative jitter.
+func (g *Generator) emit(now float64) {
+	base := float64(g.cfg.Users) * g.cfg.RequestsPerUserDay / 86400 * g.diurnal(now)
+	// Storm surges: global multiplier, plus per-forecast focus.
+	focus := make(map[string]float64)
+	mult := 1.0
+	for _, s := range g.cfg.Storms {
+		if now < s.Start || now >= s.Start+s.Duration || s.Multiplier <= 1 {
+			continue
+		}
+		if s.Forecast == "" {
+			mult *= s.Multiplier
+		} else {
+			f := focus[s.Forecast]
+			if f == 0 {
+				f = 1
+			}
+			focus[s.Forecast] = f * s.Multiplier
+		}
+	}
+	perStep := base * mult * g.cfg.Step
+	for i, name := range g.names {
+		share := perStep * g.weights[i] / g.wsum
+		if f := focus[g.edge.products[name].p.Forecast]; f > 1 {
+			share *= f
+		}
+		jitter := 0.9 + 0.2*g.rng.Float64()
+		exp := share * jitter
+		n := int64(exp)
+		if g.rng.Float64() < exp-float64(n) {
+			n++
+		}
+		if n > 0 {
+			g.edge.ArriveN(name, n)
+			g.total += n
+		}
+	}
+}
+
+// Total is the number of requests issued so far.
+func (g *Generator) Total() int64 { return g.total }

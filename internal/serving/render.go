@@ -1,0 +1,108 @@
+// Terminal rendering for the serving edge — the `foreman -serving` and
+// campaign-end summary surface. The same Stats the JSON endpoint serves
+// renders here as an edge summary, a per-product table, and the demand
+// feedback view.
+
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func fmtDur(s float64) string {
+	switch {
+	case s >= 3600:
+		return fmt.Sprintf("%.1fh", s/3600)
+	case s >= 60:
+		return fmt.Sprintf("%.1fm", s/60)
+	default:
+		return fmt.Sprintf("%.0fs", s)
+	}
+}
+
+// SummaryTable renders the edge-wide counters and staleness quantiles.
+func SummaryTable(st Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests %d  hits %d (%.1f%%)  coalesced %d  renders %d\n",
+		st.Requests, st.Hits, 100*st.HitRate, st.Coalesced, st.Renders)
+	fmt.Fprintf(&b, "shed %d (%.2f%%)  served-stale %d  queue %d active %d\n",
+		st.Shed, 100*st.ShedFraction, st.ServedStale, st.QueuedRenders, st.ActiveRenders)
+	fmt.Fprintf(&b, "staleness-at-delivery p50 %s  p99 %s  max %s  mean %s\n",
+		fmtDur(st.StalenessP50), fmtDur(st.StalenessP99),
+		fmtDur(st.StalenessMax), fmtDur(st.MeanStaleness))
+	if st.MeanWait > 0 {
+		fmt.Fprintf(&b, "mean render wait %s\n", fmtDur(st.MeanWait))
+	}
+	if len(st.ShedByTier) > 0 {
+		tiers := make([]string, 0, len(st.ShedByTier))
+		for t := range st.ShedByTier {
+			tiers = append(tiers, t)
+		}
+		sort.Strings(tiers)
+		parts := make([]string, 0, len(tiers))
+		for _, t := range tiers {
+			parts = append(parts, fmt.Sprintf("%s %d", t, st.ShedByTier[t]))
+		}
+		fmt.Fprintf(&b, "shed by tier: %s\n", strings.Join(parts, "  "))
+	}
+	return b.String()
+}
+
+// ProductTable renders the top-n products by request volume.
+func ProductTable(st Stats, n int) string {
+	prods := append([]ProductStats(nil), st.Products...)
+	sort.Slice(prods, func(i, j int) bool {
+		if prods[i].Requests != prods[j].Requests {
+			return prods[i].Requests > prods[j].Requests
+		}
+		return prods[i].Product < prods[j].Product
+	})
+	if n > 0 && len(prods) > n {
+		prods = prods[:n]
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %-12s %10s %6s %7s %6s %6s %9s %4s\n",
+		"product", "forecast", "requests", "hit%", "renders", "shed", "stale", "rate/h", "hot")
+	for _, p := range prods {
+		hitPct := 0.0
+		if p.Requests > 0 {
+			hitPct = 100 * float64(p.Hits) / float64(p.Requests)
+		}
+		hot := ""
+		if p.Hot {
+			hot = "HOT"
+		}
+		fmt.Fprintf(&b, "%-22s %-12s %10d %5.1f%% %7d %6d %6d %9.0f %4s\n",
+			p.Product, p.Forecast, p.Requests, hitPct, p.Renders, p.Shed,
+			p.ServedStale, p.DemandRate, hot)
+	}
+	if len(prods) == 0 {
+		b.WriteString("(no products)\n")
+	}
+	return b.String()
+}
+
+// DemandTable renders the closed feedback loop: forecasts ranked by
+// observed public demand, with base priorities and the demand-boosted
+// priorities the next planning cycle would use.
+func DemandTable(base map[string]int, demand map[string]int64) string {
+	boosted := DemandPriorities(base, demand)
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if demand[names[i]] != demand[names[j]] {
+			return demand[names[i]] > demand[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %9s %9s\n", "forecast", "demand", "base-pri", "next-pri")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-12s %12d %9d %9d\n", n, demand[n], base[n], boosted[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+// End-to-end serving scenario: product files are published on the
+// factory side, rsync'd over a netsim link to the public server, and
+// served to a synthetic population through the edge — while the public
+// server also carries made-to-stock product generation with hard
+// deadlines. This is the harness behind the storm tests, `foreman
+// -serving`, and BENCH_serving.json.
+package serving
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/ondemand"
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// ScenarioConfig sizes a self-contained serving scenario.
+type ScenarioConfig struct {
+	Days     int
+	Users    int
+	Products []Product // default: DefaultProducts over five CORIE-style forecasts
+	Load     LoadConfig
+
+	// PublishOffset is when each day's product files appear on the
+	// factory side (default 6h after midnight). LateDay (0-based; -1 =
+	// none; zero value means day 0 is never late — use ≥1) publishes
+	// LateBy seconds late: the headline cache-miss-storm failure mode.
+	PublishOffset float64
+	LateDay       int
+	LateBy        float64
+
+	// ProductBytes per product file (default 8 MB) over a Bandwidth
+	// bytes/s link (default 12.5e6 ≈ 100 Mb/s), scanned every
+	// RsyncInterval seconds (default 300).
+	ProductBytes  int64
+	Bandwidth     float64
+	RsyncInterval float64
+
+	// StockWork is the made-to-stock product generation the public server
+	// runs each day (default 3h of CPU), due StockDeadline seconds after
+	// the day's data actually arrives (default 4h).
+	StockWork     float64
+	StockDeadline float64
+	// NoStockGuard disables the admission oracle — the control arm that
+	// shows why the guard matters.
+	NoStockGuard bool
+
+	MaxRenders int
+	MaxQueue   int
+	HotRate    float64
+}
+
+// ScenarioResult is one scenario's outcome.
+type ScenarioResult struct {
+	Stats           Stats
+	TotalRequests   int64
+	StockLate       []string
+	StockCompletion map[string]float64
+	StockDeadlines  map[string]float64
+	Renders         map[string]int64 // product@cycle → render count
+	Demand          map[string]int64 // per-forecast request totals
+	Edge            *Edge
+}
+
+func (c *ScenarioConfig) defaults() {
+	if c.Days <= 0 {
+		c.Days = 2
+	}
+	if c.Users <= 0 {
+		c.Users = 100000
+	}
+	if len(c.Products) == 0 {
+		c.Products = DefaultProducts(map[string]int{
+			"columbia": 10, "willapa": 6, "grays": 4, "fraser": 3, "yaquina": 2,
+		})
+	}
+	if c.PublishOffset <= 0 {
+		c.PublishOffset = 6 * 3600
+	}
+	if c.ProductBytes <= 0 {
+		c.ProductBytes = 8 << 20
+	}
+	if c.Bandwidth <= 0 {
+		c.Bandwidth = 12.5e6
+	}
+	if c.RsyncInterval <= 0 {
+		c.RsyncInterval = 300
+	}
+	if c.StockWork <= 0 {
+		c.StockWork = 3 * 3600
+	}
+	if c.StockDeadline <= 0 {
+		c.StockDeadline = 4 * 3600
+	}
+}
+
+// RunScenario simulates the configured days and returns the edge's
+// statistics plus the made-to-stock verdict.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	cfg.defaults()
+	eng := sim.NewEngine()
+	cl := cluster.New(eng)
+	server := cl.AddNode("public-server", 2, 1.0)
+	sched := eng.Scope("scenario")
+
+	srcFS := vfs.New(eng.Now)
+	dstFS := vfs.New(eng.Now)
+	link := netsim.NewLink(eng, "wan", cfg.Bandwidth)
+
+	// Made-to-stock product generation on the public server, due a fixed
+	// window after each day's data arrives.
+	stockJobs := make(map[string]*cluster.Job)
+	completions := make(map[string]float64)
+	deadlines := make(map[string]float64)
+	serverInfo := []core.NodeInfo{{Name: server.Name(), CPUs: server.CPUs(), Speed: server.Speed()}}
+
+	var edge *Edge
+
+	// expected maps a delivered path to its product and cycle; Publish
+	// fires when the destination copy is complete.
+	type target struct {
+		product string
+		cycle   int
+	}
+	expected := make(map[string]target, cfg.Days*len(cfg.Products))
+	observer := func(t float64, path string, destSize int64) {
+		if destSize >= cfg.ProductBytes {
+			if tg, ok := expected[path]; ok {
+				edge.Publish(tg.product, tg.cycle, t)
+				delete(expected, path)
+			}
+		}
+	}
+	rsync := netsim.NewRsync(eng, srcFS, dstFS, link, cfg.RsyncInterval, []string{"/products"}, observer)
+
+	for d := 0; d < cfg.Days; d++ {
+		d := d
+		pub := float64(d)*86400 + cfg.PublishOffset
+		if d == cfg.LateDay && cfg.LateBy > 0 {
+			pub += cfg.LateBy
+		}
+		for _, p := range cfg.Products {
+			path := fmt.Sprintf("/products/%s/day%d", p.Name, d)
+			expected[path] = target{product: p.Name, cycle: d}
+			sched.At(pub, func() {
+				if err := srcFS.Append(path, cfg.ProductBytes); err != nil {
+					panic(err)
+				}
+			})
+		}
+		name := fmt.Sprintf("stock-d%d", d)
+		sched.At(pub, func() {
+			deadlines[name] = eng.Now() + cfg.StockDeadline
+			stockJobs[name] = server.Submit("stock:"+name, cfg.StockWork, func() {
+				completions[name] = eng.Now()
+				delete(stockJobs, name)
+			})
+		})
+	}
+
+	var stockState func(now float64) *ondemand.State
+	if !cfg.NoStockGuard {
+		stockState = func(now float64) *ondemand.State {
+			plan := &core.Plan{Nodes: serverInfo, Assign: map[string]string{}}
+			for name, job := range stockJobs {
+				plan.Runs = append(plan.Runs, core.Run{
+					Name: name, Work: job.Remaining(), Start: now, Deadline: deadlines[name],
+				})
+				plan.Assign[name] = server.Name()
+			}
+			return &ondemand.State{
+				Now:    now,
+				Nodes:  serverInfo,
+				Stock:  plan,
+				Active: map[string]int{server.Name(): server.Active()},
+			}
+		}
+	}
+
+	var err error
+	edge, err = New(Config{
+		Engine:     eng,
+		Server:     server,
+		Products:   cfg.Products,
+		MaxRenders: cfg.MaxRenders,
+		MaxQueue:   cfg.MaxQueue,
+		HotRate:    cfg.HotRate,
+		Stock:      stockState,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	load := cfg.Load
+	load.Users = cfg.Users
+	gen, err := NewGenerator(edge, load)
+	if err != nil {
+		return nil, err
+	}
+	horizon := float64(cfg.Days) * 86400
+	gen.Start(horizon)
+	rsync.Start()
+	eng.RunUntil(horizon)
+	rsync.Stop()
+
+	res := &ScenarioResult{
+		Stats:           edge.Stats(),
+		TotalRequests:   gen.Total(),
+		StockCompletion: completions,
+		StockDeadlines:  deadlines,
+		Renders:         edge.RenderCounts(),
+		Demand:          edge.ForecastDemand(),
+		Edge:            edge,
+	}
+	// Stock verdict: missed deadline, or never completed by the horizon.
+	for name, dl := range deadlines {
+		c, done := completions[name]
+		if !done || c > dl {
+			res.StockLate = append(res.StockLate, name)
+		}
+	}
+	// Stock submitted but never even started (publish past horizon) is
+	// not judged — the scenario horizon ends at the last simulated day.
+	sort.Strings(res.StockLate)
+	return res, nil
+}
+
+// StormCycleRenders extracts render counts for one cycle, keyed by
+// product — the coalescing proof for the flash-crowd cycle.
+func (r *ScenarioResult) StormCycleRenders(cycle int) map[string]int64 {
+	suffix := "@" + strconv.Itoa(cycle)
+	out := make(map[string]int64)
+	for k, n := range r.Renders {
+		if strings.HasSuffix(k, suffix) {
+			out[strings.TrimSuffix(k, suffix)] = n
+		}
+	}
+	return out
+}

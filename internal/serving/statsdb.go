@@ -1,0 +1,181 @@
+// Schema v7: the serving edge's persisted counters. serving_stats holds
+// one row per product plus one edge-total row (product = "__edge__")
+// carrying the staleness quantiles and queueing aggregates. `foreman
+// -serving`, /api/serving, and the campaign-end summary all render a
+// Stats read back from these rows, so the surfaces cannot disagree.
+
+package serving
+
+import (
+	"math"
+
+	"repro/internal/statsdb"
+)
+
+// TableName is the serving edge's statsdb table.
+const TableName = "serving_stats"
+
+// EdgeRow is the product key of the edge-total row.
+const EdgeRow = "__edge__"
+
+// Schema returns the serving_stats schema: one row per product plus the
+// edge-total row; quantile columns are meaningful only on the edge row.
+func Schema() statsdb.Schema {
+	return statsdb.Schema{
+		{Name: "product", Type: statsdb.String},
+		{Name: "forecast", Type: statsdb.String},
+		{Name: "requests", Type: statsdb.Int},
+		{Name: "hits", Type: statsdb.Int},
+		{Name: "misses", Type: statsdb.Int},
+		{Name: "coalesced", Type: statsdb.Int},
+		{Name: "renders", Type: statsdb.Int},
+		{Name: "shed", Type: statsdb.Int},
+		{Name: "served_stale", Type: statsdb.Int},
+		{Name: "demand_rate", Type: statsdb.Float},
+		{Name: "cycle", Type: statsdb.Int},
+		{Name: "hot", Type: statsdb.Bool},
+		{Name: "staleness_p50", Type: statsdb.Float},
+		{Name: "staleness_p99", Type: statsdb.Float},
+		{Name: "staleness_max", Type: statsdb.Float},
+		{Name: "staleness_mean", Type: statsdb.Float},
+		{Name: "mean_wait", Type: statsdb.Float},
+	}
+}
+
+// Migrations returns the serving layer's schema migrations: v7 creates
+// serving_stats with its product index. Combine with the earlier layers
+// (harvest v1–v2, usage v3, forensics v4, spc v5, engineprof v6).
+func Migrations() []statsdb.Migration {
+	return []statsdb.Migration{
+		{
+			Version: 7,
+			Name:    "serving-tables",
+			Apply: func(db *statsdb.DB) error {
+				if db.Table(TableName) != nil {
+					return nil
+				}
+				t, err := db.CreateTable(TableName, Schema())
+				if err != nil {
+					return err
+				}
+				return t.CreateIndex("product")
+			},
+		},
+	}
+}
+
+// finite guards statsdb's NaN rejection: non-finite floats persist as 0.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// LoadReport persists one edge snapshot (created via the v7 migration
+// when missing). One snapshot covers a whole campaign; load each once.
+func LoadReport(db *statsdb.DB, st Stats) error {
+	if _, err := statsdb.Migrate(db, Migrations()); err != nil {
+		return err
+	}
+	t := db.Table(TableName)
+	err := t.Insert([]statsdb.Value{
+		statsdb.StringVal(EdgeRow),
+		statsdb.StringVal(""),
+		statsdb.IntVal(st.Requests),
+		statsdb.IntVal(st.Hits),
+		statsdb.IntVal(st.Misses),
+		statsdb.IntVal(st.Coalesced),
+		statsdb.IntVal(st.Renders),
+		statsdb.IntVal(st.Shed),
+		statsdb.IntVal(st.ServedStale),
+		statsdb.FloatVal(0),
+		statsdb.IntVal(0),
+		statsdb.BoolVal(false),
+		statsdb.FloatVal(finite(st.StalenessP50)),
+		statsdb.FloatVal(finite(st.StalenessP99)),
+		statsdb.FloatVal(finite(st.StalenessMax)),
+		statsdb.FloatVal(finite(st.MeanStaleness)),
+		statsdb.FloatVal(finite(st.MeanWait)),
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range st.Products {
+		err := t.Insert([]statsdb.Value{
+			statsdb.StringVal(p.Product),
+			statsdb.StringVal(p.Forecast),
+			statsdb.IntVal(p.Requests),
+			statsdb.IntVal(p.Hits),
+			statsdb.IntVal(p.Misses),
+			statsdb.IntVal(0),
+			statsdb.IntVal(p.Renders),
+			statsdb.IntVal(p.Shed),
+			statsdb.IntVal(p.ServedStale),
+			statsdb.FloatVal(finite(p.DemandRate)),
+			statsdb.IntVal(int64(p.Cycle)),
+			statsdb.BoolVal(p.Hot),
+			statsdb.FloatVal(0),
+			statsdb.FloatVal(0),
+			statsdb.FloatVal(0),
+			statsdb.FloatVal(0),
+			statsdb.FloatVal(0),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadReport reconstructs a Stats from the persisted rows. Derived rates
+// are recomputed from the stored counters. Returns an empty Stats when
+// the table is absent.
+func ReadReport(db *statsdb.DB) (Stats, error) {
+	var st Stats
+	t := db.Table(TableName)
+	if t == nil {
+		return st, nil
+	}
+	schema := t.Schema()
+	col := make(map[string]int, len(schema))
+	for i, c := range schema {
+		col[c.Name] = i
+	}
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		if row[col["product"]].Str() == EdgeRow {
+			st.Requests = row[col["requests"]].Int()
+			st.Hits = row[col["hits"]].Int()
+			st.Misses = row[col["misses"]].Int()
+			st.Coalesced = row[col["coalesced"]].Int()
+			st.Renders = row[col["renders"]].Int()
+			st.Shed = row[col["shed"]].Int()
+			st.ServedStale = row[col["served_stale"]].Int()
+			st.StalenessP50 = row[col["staleness_p50"]].Float()
+			st.StalenessP99 = row[col["staleness_p99"]].Float()
+			st.StalenessMax = row[col["staleness_max"]].Float()
+			st.MeanStaleness = row[col["staleness_mean"]].Float()
+			st.MeanWait = row[col["mean_wait"]].Float()
+			continue
+		}
+		st.Products = append(st.Products, ProductStats{
+			Product:     row[col["product"]].Str(),
+			Forecast:    row[col["forecast"]].Str(),
+			Requests:    row[col["requests"]].Int(),
+			Hits:        row[col["hits"]].Int(),
+			Misses:      row[col["misses"]].Int(),
+			Renders:     row[col["renders"]].Int(),
+			Shed:        row[col["shed"]].Int(),
+			ServedStale: row[col["served_stale"]].Int(),
+			DemandRate:  row[col["demand_rate"]].Float(),
+			Cycle:       int(row[col["cycle"]].Int()),
+			Hot:         row[col["hot"]].Bool(),
+		})
+	}
+	if st.Requests > 0 {
+		st.HitRate = float64(st.Hits) / float64(st.Requests)
+		st.ShedFraction = float64(st.Shed) / float64(st.Requests)
+	}
+	return st, nil
+}
